@@ -1,0 +1,176 @@
+"""Ablations of the paper's design choices.
+
+Not a table or figure of the paper — these measure the claims the paper
+makes in prose:
+
+* **Common vs similar interest** (§4.1): membership-vector clustering
+  with the expected-waste distance vs K-means on cell coordinates.
+* **Hyper-cell merging** (§4.1 implementation notes): with vs without
+  merging identical membership vectors.
+* **Outlier removal** (§4.1 / §5.2 future work): the OutlierFilter's
+  effect on solution quality.
+* **The Figure 5 threshold rule**: multicast only when enough group
+  members are interested.
+* **Dense vs sparse vs application-level multicast** (§5.1): the same
+  clustering priced under all three frameworks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    CoordinateKMeansClustering,
+    ForgyKMeansClustering,
+    OutlierFilter,
+)
+from repro.matching import GridMatcher
+
+from conftest import print_banner
+
+K = 60
+CELLS = 2000
+
+
+def test_common_vs_similar_interest(benchmark, eval_ctx):
+    """The paper: coordinates 'would lead to poorer solutions'."""
+
+    def run():
+        cells = eval_ctx.cells(CELLS)
+        waste = ForgyKMeansClustering().fit(cells, K)
+        coord = CoordinateKMeansClustering().fit(
+            cells, K, rng=np.random.default_rng(3)
+        )
+        results = {}
+        for name, clustering in (("expected-waste", waste), ("coordinate", coord)):
+            matcher = GridMatcher(clustering, eval_ctx.scenario.subscriptions)
+            summary = eval_ctx.evaluate_matcher(matcher, "dense")
+            results[name] = (summary.improvement, clustering.total_expected_waste())
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: common vs similar interest (K=60, 2000 cells)")
+    for name, (improvement, waste) in results.items():
+        print(f"  {name:>15}: improvement={improvement:6.1f}%  "
+              f"objective waste={waste:.4f}")
+    assert (
+        results["expected-waste"][0] >= results["coordinate"][0] - 1.0
+    )
+    # the clustering objective itself must favour the expected-waste
+    # algorithm decisively
+    assert results["expected-waste"][1] < results["coordinate"][1]
+
+
+def test_outlier_removal(benchmark, eval_ctx):
+    """Filtering no-merge-partner cells must not hurt, and shrinks the
+    clustering input."""
+
+    def run():
+        cells = eval_ctx.cells(CELLS)
+        raw = ForgyKMeansClustering().fit(cells, K)
+        filtered_cells, outliers = OutlierFilter(fraction=0.1).split(cells)
+        filtered = ForgyKMeansClustering().fit(filtered_cells, K)
+        raw_summary = eval_ctx.evaluate_matcher(
+            GridMatcher(raw, eval_ctx.scenario.subscriptions), "dense"
+        )
+        filtered_summary = eval_ctx.evaluate_matcher(
+            GridMatcher(filtered, eval_ctx.scenario.subscriptions), "dense"
+        )
+        return {
+            "n_outliers": len(outliers),
+            "raw": (raw_summary.improvement, raw_summary.wasted_deliveries),
+            "filtered": (
+                filtered_summary.improvement,
+                filtered_summary.wasted_deliveries,
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: outlier removal (K=60, 2000 cells)")
+    print(f"  outliers removed: {results['n_outliers']}")
+    for name in ("raw", "filtered"):
+        improvement, wasted = results[name]
+        print(f"  {name:>9}: improvement={improvement:6.1f}%  "
+              f"wasted deliveries/event={wasted:.1f}")
+    # filtering reduces per-event waste (outliers no longer pollute groups)
+    assert results["filtered"][1] <= results["raw"][1] + 1.0
+
+
+def test_threshold_rule(benchmark, eval_ctx):
+    """Figure 5's proportion threshold: a moderate threshold prunes
+    wasteful multicasts; an extreme one degenerates to unicast."""
+
+    def run():
+        cells = eval_ctx.cells(CELLS)
+        clustering = ForgyKMeansClustering().fit(cells, K)
+        rows = []
+        for threshold in (0.0, 0.05, 0.2, 0.5, 0.95):
+            matcher = GridMatcher(
+                clustering,
+                eval_ctx.scenario.subscriptions,
+                threshold=threshold,
+            )
+            summary = eval_ctx.evaluate_matcher(matcher, "dense")
+            rows.append(
+                (threshold, summary.improvement, summary.wasted_deliveries)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: Figure 5 threshold rule (K=60, 2000 cells)")
+    for threshold, improvement, wasted in rows:
+        print(f"  threshold={threshold:4.2f}: improvement={improvement:6.1f}% "
+              f"wasted/event={wasted:6.1f}")
+    # waste is monotone decreasing in the threshold
+    wastes = [w for _, _, w in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(wastes, wastes[1:]))
+    # an extreme threshold forfeits almost all multicast benefit
+    assert rows[-1][1] < rows[0][1]
+
+
+def test_multicast_frameworks(benchmark, eval_ctx):
+    """One clustering priced under dense, sparse and application-level
+    multicast: dense cheapest, alm above it, sparse paying the shared
+    rendezvous detour."""
+
+    def run():
+        cells = eval_ctx.cells(CELLS)
+        clustering = ForgyKMeansClustering().fit(cells, K)
+        matcher = GridMatcher(clustering, eval_ctx.scenario.subscriptions)
+        return {
+            scheme: eval_ctx.evaluate_matcher(matcher, scheme)
+            for scheme in ("dense", "alm", "sparse")
+        }
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: multicast frameworks (K=60, 2000 cells)")
+    for scheme, summary in summaries.items():
+        print(f"  {scheme:>7}: cost={summary.achieved:8.1f} "
+              f"improvement={summary.improvement:6.1f}% "
+              f"(unicast={summary.unicast:.0f}, ideal={summary.ideal:.0f})")
+    assert summaries["alm"].achieved >= summaries["dense"].achieved - 1e-6
+    # all three stay well below unicast on this workload
+    for summary in summaries.values():
+        assert summary.achieved < summary.unicast
+
+
+def test_hypercell_merging(benchmark, eval_ctx):
+    """§4.1: merging identical membership vectors is lossless — it
+    changes the input size, not the grouping quality."""
+    from repro.grid import CellSet, build_membership_matrix
+
+    def run():
+        scenario = eval_ctx.scenario
+        merged = eval_ctx.cells(None)
+        matrix = build_membership_matrix(
+            scenario.space, scenario.subscriptions
+        )
+        nonempty = int(matrix.any(axis=1).sum())
+        return {"raw_cells": nonempty, "hyper_cells": len(merged)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: hyper-cell merging (input-size reduction)")
+    print(f"  non-empty grid cells: {results['raw_cells']}")
+    print(f"  hyper-cells after merging: {results['hyper_cells']}")
+    reduction = 1 - results["hyper_cells"] / results["raw_cells"]
+    print(f"  reduction: {100 * reduction:.1f}%")
+    assert results["hyper_cells"] < results["raw_cells"]

@@ -1,0 +1,110 @@
+"""The high-dimensional case (the paper's deferred future study).
+
+"Cell-based clustering works well when the dimensionality of the event
+space is not too high ...  We leave the high-dimensional case for
+future study."  This benchmark runs that study on community-structured
+synthetic workloads of growing dimension: the grid explodes
+exponentially, hyper-cell merging absorbs less of the blow-up, and the
+fixed cell budget covers a shrinking fraction of the event mass — the
+precise mechanism by which the grid framework degrades in high
+dimension.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.clustering import ForgyKMeansClustering
+from repro.grid import build_cell_set
+from repro.matching import GridMatcher
+from repro.network import RoutingTables, TransitStubGenerator, TransitStubParams
+from repro.sim import improvement_percentage
+from repro.delivery import Dispatcher
+from repro.workload import SyntheticConfig, generate_synthetic
+
+from conftest import print_banner
+
+DIMS = (2, 3, 4, 5, 6)
+CELL_BUDGET = 1500
+K = 20
+N_EVENTS = 120
+
+
+def _run_dimension(topology, routing, n_dims):
+    workload = generate_synthetic(
+        topology,
+        n_dims,
+        SyntheticConfig(domain_size=8, n_communities=4,
+                        subscribers_per_community=25),
+        rng=np.random.default_rng(100 + n_dims),
+    )
+    start = time.perf_counter()
+    cells_all = build_cell_set(
+        workload.space, workload.subscriptions, workload.cell_pmf
+    )
+    preprocess = time.perf_counter() - start
+    cells = cells_all.top_by_popularity(CELL_BUDGET)
+    covered_mass = float(cells.probs.sum())
+
+    start = time.perf_counter()
+    clustering = ForgyKMeansClustering().fit(cells, K)
+    fit = time.perf_counter() - start
+
+    matcher = GridMatcher(clustering, workload.subscriptions)
+    dispatcher = Dispatcher(routing, workload.subscriptions, "dense")
+    events = workload.sample(np.random.default_rng(200 + n_dims), N_EVENTS)
+    total = unicast = ideal = 0.0
+    for event in events:
+        plan = matcher.match(event.point)
+        plan.validate_complete()
+        total += dispatcher.plan_cost(event.publisher, plan)
+        unicast += dispatcher.unicast_reference(event.publisher, plan.interested)
+        ideal += dispatcher.ideal_reference(event.publisher, plan.interested)
+    improvement = improvement_percentage(unicast, ideal, total)
+    return {
+        "dims": n_dims,
+        "grid_cells": workload.space.n_cells,
+        "hyper_cells": len(cells_all),
+        "covered_mass": covered_mass,
+        "preprocess_s": preprocess,
+        "fit_s": fit,
+        "improvement": improvement,
+    }
+
+
+def test_dimensionality(benchmark):
+    params = TransitStubParams(
+        n_transit_blocks=3,
+        transit_nodes_per_block=3,
+        stubs_per_transit=2,
+        nodes_per_stub=10,
+    )
+    topology = TransitStubGenerator(params, np.random.default_rng(0)).generate()
+    routing = RoutingTables(topology.graph)
+
+    def run():
+        return [_run_dimension(topology, routing, d) for d in DIMS]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner(
+        f"High-dimensional study (budget {CELL_BUDGET} cells, K={K})"
+    )
+    print(f"{'dims':>5} {'grid':>9} {'hyper':>8} {'mass%':>7} "
+          f"{'prep_s':>7} {'fit_s':>6} {'improve%':>9}")
+    for row in rows:
+        print(f"{row['dims']:>5} {row['grid_cells']:>9} "
+              f"{row['hyper_cells']:>8} {100 * row['covered_mass']:>6.1f} "
+              f"{row['preprocess_s']:>7.2f} {row['fit_s']:>6.2f} "
+              f"{row['improvement']:>9.1f}")
+
+    grids = [row["grid_cells"] for row in rows]
+    assert grids == sorted(grids)
+    # the exponential blow-up is real: each added dimension multiplies
+    # the grid by the domain size
+    assert grids[-1] == 8 ** DIMS[-1]
+    # the fixed budget covers less and less of the event mass
+    masses = [row["covered_mass"] for row in rows]
+    assert masses[0] > masses[-1]
+    # low-dimensional cases stay in a healthy improvement regime
+    assert rows[0]["improvement"] > 20

@@ -1,0 +1,61 @@
+"""Figure 10 — solution quality and running time vs number of cells.
+
+Left panel: improvement percentage as a function of the number of
+hyper-cells fed to each algorithm.  Right panel: fitting time over the
+same sweep.  Reproduced shapes: quality rises with the cell budget while
+the event-coverage effect dominates; running time grows with the budget,
+with Pairwise Grouping the steepest and the approximate variant tracking
+the exact one's quality at lower cost for large budgets.
+"""
+
+import pytest
+
+from repro.sim import figure10
+
+from conftest import print_banner
+
+BUDGETS = (250, 500, 1000, 2000)
+ALGS = ("kmeans", "forgy", "pairs", "approx-pairs")
+
+
+def test_fig10(benchmark, eval_ctx):
+    rows = benchmark.pedantic(
+        lambda: figure10(
+            cell_budgets=BUDGETS,
+            algorithms=ALGS,
+            n_groups=60,
+            scenario=eval_ctx.scenario,
+            n_events=len(eval_ctx.events),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Figure 10: quality and fit time vs number of cells (K=60)")
+    print(f"{'algorithm':>14} {'cells':>6} {'improve%':>9} {'fit_s':>8}")
+    for row in rows:
+        print(
+            f"{row['algorithm']:>14} {row['n_cells']:>6} "
+            f"{row['improvement_pct']:>9.1f} {row['fit_seconds']:>8.3f}"
+        )
+
+    def series(name, field):
+        return [r[field] for r in rows if r["algorithm"] == name]
+
+    # quality improves when the cell budget lifts event coverage
+    for name in ALGS:
+        imp = series(name, "improvement_pct")
+        assert imp[-1] > imp[0]
+
+    # exact pairs is the most expensive algorithm at the largest budget
+    fit_at_max = {
+        name: series(name, "fit_seconds")[-1] for name in ALGS
+    }
+    assert fit_at_max["pairs"] > fit_at_max["kmeans"]
+    assert fit_at_max["pairs"] > fit_at_max["forgy"]
+
+    # the approximate variant matches exact pairs' quality within a few
+    # points at every budget
+    exact = series("pairs", "improvement_pct")
+    approx = series("approx-pairs", "improvement_pct")
+    for e, a in zip(exact, approx):
+        assert abs(e - a) < 15.0

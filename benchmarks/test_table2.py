@@ -1,0 +1,59 @@
+"""Table 2 — unicast / broadcast / ideal multicast costs, no regionalism.
+
+Regenerates every row of the paper's Table 2 and checks the Table 1 vs
+Table 2 comparison the paper highlights: regional subscriptions lower the
+communication costs.
+"""
+
+import pytest
+
+from repro.sim import TABLE2_ROWS, TableRowSpec, format_table, run_table, run_table_row
+
+from conftest import print_banner
+
+N_EVENTS = 60
+
+
+def _run():
+    return run_table(TABLE2_ROWS, regionalism=0.0, n_events=N_EVENTS, seed=0)
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_banner("Table 2. No regionalism (mean per-event cost)")
+    print(format_table(rows, ""))
+
+    by_key = {
+        (r["n_nodes"], r["n_subscriptions"], r["distribution"]): r
+        for r in rows
+    }
+    for row in rows:
+        assert row["ideal"] <= row["unicast"] + 1e-9
+        assert row["ideal"] <= row["broadcast"] + 1e-9
+    # with many subscriptions and no regionalism, unicast is far worse
+    # than broadcast (the paper's motivating observation)
+    big = by_key[(600, 10000, "uniform")]
+    assert big["unicast"] > 2 * big["broadcast"]
+    # gaussian > uniform for both network sizes present in both variants
+    for n_nodes, n_subs in ((100, 5000), (600, 10000)):
+        assert (
+            by_key[(n_nodes, n_subs, "gaussian")]["unicast"]
+            > by_key[(n_nodes, n_subs, "uniform")]["unicast"]
+        )
+
+
+def test_regionalism_comparison(benchmark):
+    """Table 1 vs Table 2 on the same row: regionalism lowers costs."""
+
+    def run_pair():
+        spec = TableRowSpec(300, 1000, "uniform")
+        regional = run_table_row(spec, 0.4, n_events=N_EVENTS, seed=0)
+        flat = run_table_row(spec, 0.0, n_events=N_EVENTS, seed=0)
+        return regional, flat
+
+    regional, flat = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print_banner("Table 1 vs Table 2 (300 nodes, 1000 subscriptions)")
+    print(f"  regional 0.4: unicast={regional['unicast']:.0f} ideal={regional['ideal']:.0f}")
+    print(f"  regional 0.0: unicast={flat['unicast']:.0f} ideal={flat['ideal']:.0f}")
+    assert regional["unicast"] < flat["unicast"]
+    assert regional["ideal"] < flat["ideal"]

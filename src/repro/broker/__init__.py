@@ -1,0 +1,8 @@
+"""System facade: a content-based pub-sub broker with dynamic
+subscriptions, lazily re-balanced multicast groups and delivery
+accounting."""
+
+from .broker import BrokerConfig, ContentBroker, DeliveryReceipt
+from .stats import DeliveryStats
+
+__all__ = ["BrokerConfig", "ContentBroker", "DeliveryReceipt", "DeliveryStats"]

@@ -1,0 +1,326 @@
+"""A content-based pub-sub broker built from the paper's components.
+
+:class:`ContentBroker` is the system-facing facade: subscribers join and
+leave at network nodes with rectangle interests, multicast groups are
+maintained by a clustering algorithm (re-clustered lazily, warm-started
+from the previous grouping as the paper suggests for subscription
+dynamics), and each published event is matched, delivered and priced.
+
+This is the "first intelligent node" deployment model of the paper's
+discussion (item 6): one broker performs the matching and decides the
+routing; the network below it only forwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering import ForgyKMeansClustering, KMeansClustering
+from ..delivery import AdaptiveDeliveryPolicy, Dispatcher
+from ..geometry import EventSpace, Rectangle
+from ..grid import CellSet, build_cell_set
+from ..matching import DeliveryPlan, GridMatcher
+from ..network import RoutingTables
+from ..workload import Subscription, SubscriptionSet
+from .stats import DeliveryStats
+
+__all__ = ["BrokerConfig", "DeliveryReceipt", "ContentBroker"]
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Tuning knobs of the broker.
+
+    ``rebalance_after`` controls laziness: the multicast groups are
+    rebuilt once that many subscription changes have accumulated (and on
+    the first publish after any change when set to 1).  ``warm_start``
+    re-balances from the previous grouping instead of re-clustering from
+    scratch.  ``algorithm`` is ``"forgy"`` or ``"kmeans"`` — the
+    iterative algorithms the paper recommends for dynamics.
+    """
+
+    n_groups: int = 40
+    max_cells: Optional[int] = 2000
+    algorithm: str = "forgy"
+    threshold: float = 0.0
+    scheme: str = "dense"
+    rebalance_after: int = 25
+    warm_start: bool = True
+    max_warm_iters: int = 10
+    #: per-event unicast/multicast/broadcast selection (the abstract's
+    #: "determine dynamically whether to unicast, multicast or
+    #: broadcast"); the penalty discounts against flooding
+    adaptive: bool = False
+    broadcast_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("forgy", "kmeans"):
+            raise ValueError("broker supports the iterative algorithms only")
+        if self.n_groups < 1:
+            raise ValueError("need at least one group")
+        if self.rebalance_after < 1:
+            raise ValueError("rebalance_after must be positive")
+        if self.broadcast_penalty < 1.0:
+            raise ValueError("broadcast_penalty must be at least 1")
+
+
+@dataclass(frozen=True)
+class DeliveryReceipt:
+    """What happened to one published event."""
+
+    n_interested: int
+    used_multicast: bool
+    cost: float
+    unicast_cost: float
+    ideal_cost: float
+    wasted_deliveries: int
+    #: delivery mode actually executed ("plan" for the fixed policy,
+    #: else the adaptive choice)
+    mode: str = "plan"
+
+
+class ContentBroker:
+    """Matching + clustering + delivery behind one `publish` call."""
+
+    def __init__(
+        self,
+        routing: RoutingTables,
+        space: EventSpace,
+        cell_pmf: np.ndarray,
+        config: Optional[BrokerConfig] = None,
+    ) -> None:
+        self.routing = routing
+        self.space = space
+        self.cell_pmf = np.asarray(cell_pmf, dtype=np.float64)
+        if self.cell_pmf.shape != (space.n_cells,):
+            raise ValueError("cell_pmf must cover every grid cell")
+        self.config = config or BrokerConfig()
+        self.stats = DeliveryStats()
+
+        self._next_id = 0
+        self._active: Dict[int, Tuple[int, Rectangle]] = {}
+        self._pending_changes = 0
+        self._subscriptions: Optional[SubscriptionSet] = None
+        self._matcher: Optional[GridMatcher] = None
+        self._dispatcher: Optional[Dispatcher] = None
+        self._clustering = None
+        self._internal_of: Dict[int, int] = {}
+        self._external_of: List[int] = []
+        self._policy: Optional[AdaptiveDeliveryPolicy] = None
+
+    # ------------------------------------------------------------------
+    # subscription management
+    # ------------------------------------------------------------------
+    def subscribe(self, node: int, rectangle: Rectangle) -> int:
+        """Register a subscription; returns its handle."""
+        if rectangle.dimensions != self.space.n_dims:
+            raise ValueError("subscription dimensionality mismatch")
+        if not 0 <= node < self.routing.graph.n_nodes:
+            raise ValueError(f"node {node} not in the network")
+        handle = self._next_id
+        self._next_id += 1
+        self._active[handle] = (node, rectangle)
+        self._pending_changes += 1
+        return handle
+
+    def unsubscribe(self, handle: int) -> None:
+        """Remove a subscription by its handle."""
+        try:
+            del self._active[handle]
+        except KeyError:
+            raise KeyError(f"unknown subscription handle {handle}") from None
+        self._pending_changes += 1
+
+    @property
+    def n_subscriptions(self) -> int:
+        return len(self._active)
+
+    @property
+    def n_groups(self) -> int:
+        """Multicast groups currently maintained (0 before first build)."""
+        return self._clustering.n_groups if self._clustering is not None else 0
+
+    # ------------------------------------------------------------------
+    # clustering lifecycle
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Recompute the grouping state from the active subscriptions."""
+        if not self._active:
+            self._subscriptions = None
+            self._matcher = None
+            self._dispatcher = None
+            self._clustering = None
+            self._pending_changes = 0
+            return
+
+        old_clustering = self._clustering
+        old_groups = self._group_node_sets() if old_clustering else None
+        self._external_of = sorted(self._active)
+        self._internal_of = {
+            ext: idx for idx, ext in enumerate(self._external_of)
+        }
+        subscriptions = []
+        for ext in self._external_of:
+            node, rectangle = self._active[ext]
+            subscriptions.append(
+                Subscription(self._internal_of[ext], node, rectangle)
+            )
+        subs = SubscriptionSet(self.space, subscriptions)
+        cells = build_cell_set(
+            self.space, subs, self.cell_pmf, max_cells=self.config.max_cells
+        )
+        algorithm = self._make_algorithm(old_clustering, cells)
+        self._clustering = algorithm.fit(cells, self.config.n_groups)
+        self._subscriptions = subs
+        self._matcher = GridMatcher(
+            self._clustering, subs, threshold=self.config.threshold
+        )
+        self._dispatcher = Dispatcher(
+            self.routing, subs, scheme=self.config.scheme
+        )
+        if self.config.adaptive:
+            previous_counts = (
+                self._policy.mode_counts if self._policy else None
+            )
+            self._policy = AdaptiveDeliveryPolicy(
+                self._dispatcher,
+                broadcast_penalty=self.config.broadcast_penalty,
+            )
+            if previous_counts:
+                self._policy.mode_counts = previous_counts
+        self._pending_changes = 0
+        self.stats.n_rebuilds += 1
+        if old_groups is not None:
+            self.stats.group_membership_changes += self._membership_churn(
+                old_groups, self._group_node_sets()
+            )
+
+    def _group_node_sets(self):
+        """Current groups as frozensets of *node* ids (node-level group
+        membership is what a multicast substrate actually installs)."""
+        if self._clustering is None or self._subscriptions is None:
+            return []
+        groups = []
+        for g in range(self._clustering.n_groups):
+            members = self._clustering.subscribers_of_group(g)
+            nodes = self._subscriptions.nodes_of_subscribers(members)
+            groups.append(frozenset(int(n) for n in nodes))
+        return groups
+
+    @staticmethod
+    def _membership_churn(old_groups, new_groups) -> int:
+        """Minimum join/leave operations to turn the old group layout
+        into the new one, greedily pairing most-similar groups."""
+        remaining = list(old_groups)
+        churn = 0
+        for new in sorted(new_groups, key=len, reverse=True):
+            if remaining:
+                best = min(
+                    range(len(remaining)),
+                    key=lambda i: len(new ^ remaining[i]),
+                )
+                churn += len(new ^ remaining[best])
+                remaining.pop(best)
+            else:
+                churn += len(new)
+        for leftover in remaining:
+            churn += len(leftover)
+        return churn
+
+    def _make_algorithm(self, old_clustering, cells: CellSet):
+        cls = (
+            ForgyKMeansClustering
+            if self.config.algorithm == "forgy"
+            else KMeansClustering
+        )
+        if not (self.config.warm_start and old_clustering is not None):
+            return cls()
+        initial = self._inherit_assignment(old_clustering, cells)
+        return cls(
+            max_iters=self.config.max_warm_iters, initial_assignment=initial
+        )
+
+    def _inherit_assignment(self, old_clustering, cells: CellSet) -> np.ndarray:
+        """Carry the previous grouping onto the new hyper-cell set.
+
+        Each new hyper-cell takes the majority group of the grid cells it
+        covers; territory the old clustering never saw joins group 0 and
+        is repaired by the warm iterations.
+        """
+        assignment = np.zeros(len(cells), dtype=np.int64)
+        for h, cell_ids in enumerate(cells.cell_ids):
+            votes = np.array(
+                [old_clustering.group_of_grid_cell(int(c)) for c in cell_ids]
+            )
+            votes = votes[votes >= 0]
+            if len(votes):
+                assignment[h] = np.bincount(votes).argmax()
+        limit = min(self.config.n_groups, len(cells))
+        assignment = np.minimum(assignment, limit - 1)
+        return assignment
+
+    def _ensure_fresh(self) -> None:
+        if self._matcher is None or (
+            self._pending_changes >= self.config.rebalance_after
+        ):
+            self.rebuild()
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self, point: Sequence[float], publisher: int
+    ) -> DeliveryReceipt:
+        """Match, deliver and price one event."""
+        if not self._active:
+            receipt = DeliveryReceipt(0, False, 0.0, 0.0, 0.0, 0)
+            self.stats.record(0.0, 0.0, 0.0, False, 0, 0)
+            return receipt
+        self._ensure_fresh()
+        plan = self._matcher.match(point)
+        plan.validate_complete()
+        unicast = self._dispatcher.unicast_reference(publisher, plan.interested)
+        ideal = self._dispatcher.ideal_reference(publisher, plan.interested)
+        if self._policy is not None:
+            decision = self._policy.decide(publisher, plan)
+            cost = decision.cost
+            mode = decision.mode
+            used_multicast = mode == "multicast"
+            if mode == "broadcast":
+                wasted = self._subscriptions.n_subscribers - len(
+                    plan.interested
+                )
+            elif mode == "unicast":
+                wasted = 0
+            else:
+                wasted = plan.wasted_deliveries()
+        else:
+            cost = self._dispatcher.plan_cost(publisher, plan)
+            mode = "plan"
+            used_multicast = plan.uses_multicast
+            wasted = plan.wasted_deliveries()
+        receipt = DeliveryReceipt(
+            n_interested=len(plan.interested),
+            used_multicast=used_multicast,
+            cost=cost,
+            unicast_cost=unicast,
+            ideal_cost=ideal,
+            wasted_deliveries=wasted,
+            mode=mode,
+        )
+        self.stats.record(
+            cost, unicast, ideal, used_multicast, len(plan.interested),
+            wasted,
+        )
+        return receipt
+
+    def interested_handles(self, point: Sequence[float]) -> List[int]:
+        """Subscription handles interested in an event (for inspection)."""
+        self._ensure_fresh()
+        if self._subscriptions is None:
+            return []
+        internal = self._subscriptions.interested_subscribers(point)
+        return [self._external_of[i] for i in internal]

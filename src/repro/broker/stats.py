@@ -1,0 +1,82 @@
+"""Delivery statistics accumulated by the broker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["DeliveryStats"]
+
+
+@dataclass
+class DeliveryStats:
+    """Running totals over the events a broker has delivered."""
+
+    n_events: int = 0
+    n_multicast: int = 0
+    n_unicast_only: int = 0
+    n_no_interest: int = 0
+    total_cost: float = 0.0
+    total_unicast_cost: float = 0.0
+    total_ideal_cost: float = 0.0
+    total_wasted_deliveries: int = 0
+    n_rebuilds: int = 0
+    #: subscriber↔group membership changes across rebuilds — the
+    #: join/leave signalling a real multicast substrate would pay (the
+    #: "overhead of managing a large number of multicast groups" that
+    #: motivates the paper's limited group budget)
+    group_membership_changes: int = 0
+
+    def record(
+        self,
+        cost: float,
+        unicast_cost: float,
+        ideal_cost: float,
+        used_multicast: bool,
+        n_interested: int,
+        wasted: int,
+    ) -> None:
+        """Fold one delivered event into the totals."""
+        self.n_events += 1
+        self.total_cost += cost
+        self.total_unicast_cost += unicast_cost
+        self.total_ideal_cost += ideal_cost
+        self.total_wasted_deliveries += wasted
+        if n_interested == 0:
+            self.n_no_interest += 1
+        elif used_multicast:
+            self.n_multicast += 1
+        else:
+            self.n_unicast_only += 1
+
+    @property
+    def improvement_percentage(self) -> float:
+        """Realised improvement over unicast on the 0-100 ideal scale."""
+        headroom = self.total_unicast_cost - self.total_ideal_cost
+        if headroom <= 1e-12:
+            return 0.0
+        return 100.0 * (self.total_unicast_cost - self.total_cost) / headroom
+
+    @property
+    def multicast_rate(self) -> float:
+        """Fraction of events with interest that used a multicast group."""
+        with_interest = self.n_events - self.n_no_interest
+        if with_interest == 0:
+            return 0.0
+        return self.n_multicast / with_interest
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_events": self.n_events,
+            "n_multicast": self.n_multicast,
+            "n_unicast_only": self.n_unicast_only,
+            "n_no_interest": self.n_no_interest,
+            "total_cost": self.total_cost,
+            "total_unicast_cost": self.total_unicast_cost,
+            "total_ideal_cost": self.total_ideal_cost,
+            "total_wasted_deliveries": self.total_wasted_deliveries,
+            "improvement_percentage": self.improvement_percentage,
+            "multicast_rate": self.multicast_rate,
+            "n_rebuilds": self.n_rebuilds,
+            "group_membership_changes": self.group_membership_changes,
+        }

@@ -1,0 +1,131 @@
+"""Common interfaces of the subscription clustering algorithms.
+
+Every grid-based algorithm (K-means, Forgy, MST, Pairwise Grouping)
+partitions the selected hyper-cells into at most ``K`` multicast groups.
+The result object carries the per-group membership vectors (which *are*
+the multicast groups: the subscribers whose interest touches any cell of
+the group) and the cell-to-group map the grid matcher uses at event time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..grid import CellSet
+
+__all__ = ["Clustering", "GridClusteringAlgorithm"]
+
+
+@dataclass
+class Clustering:
+    """A partition of hyper-cells into multicast groups.
+
+    Attributes
+    ----------
+    cells:
+        The hyper-cells that were clustered.
+    assignment:
+        ``(m,)`` int array: hyper-cell -> group index in ``0..n_groups-1``.
+    group_membership:
+        ``(n_groups, n_subscribers)`` boolean matrix; row ``g`` is the
+        union of the membership vectors of the group's hyper-cells —
+        i.e. the subscriber composition of multicast group ``g``.
+    group_probs:
+        ``(n_groups,)`` publication probability mass of each group.
+    """
+
+    cells: CellSet
+    assignment: np.ndarray
+    group_membership: np.ndarray = field(init=False)
+    group_probs: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        assignment = np.asarray(self.assignment, dtype=np.int64)
+        if assignment.shape != (len(self.cells),):
+            raise ValueError("assignment must map every hyper-cell")
+        if len(assignment) and assignment.min() < 0:
+            raise ValueError("every hyper-cell must belong to a group")
+        self.assignment = assignment
+        n_groups = int(assignment.max()) + 1 if len(assignment) else 0
+        membership = np.zeros(
+            (n_groups, self.cells.n_subscribers), dtype=bool
+        )
+        probs = np.zeros(n_groups, dtype=np.float64)
+        for g in range(n_groups):
+            members = assignment == g
+            if not members.any():
+                raise ValueError(f"group {g} is empty")
+            membership[g] = self.cells.membership[members].any(axis=0)
+            probs[g] = self.cells.probs[members].sum()
+        self.group_membership = membership
+        self.group_probs = probs
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_membership)
+
+    def subscribers_of_group(self, group: int) -> np.ndarray:
+        """Subscriber ids composing a multicast group."""
+        return np.nonzero(self.group_membership[group])[0]
+
+    def group_of_grid_cell(self, flat_cell: int) -> int:
+        """Multicast group of a flat grid cell (-1 when unassigned)."""
+        hypercell = int(self.cells.hypercell_of_cell[flat_cell])
+        if hypercell < 0:
+            return -1
+        return int(self.assignment[hypercell])
+
+    def group_sizes(self) -> np.ndarray:
+        """Number of subscribers in each group."""
+        return self.group_membership.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def total_expected_waste(self) -> float:
+        """Objective value: expected wasted deliveries per published event.
+
+        For hyper-cell ``a`` in group ``G`` the waste contribution is
+        ``p_p(a) * |s(G) \\ s(a)|``; summing over all clustered cells gives
+        the expectation (restricted to events landing in clustered cells).
+        """
+        group_sizes = self.group_membership.sum(axis=1).astype(np.float64)
+        inter = (
+            self.cells.membership.astype(np.float32)
+            @ self.group_membership.astype(np.float32).T
+        )
+        per_cell = inter[np.arange(len(self.cells)), self.assignment]
+        extra = group_sizes[self.assignment] - per_cell
+        return float(np.sum(self.cells.probs * extra))
+
+
+class GridClusteringAlgorithm(abc.ABC):
+    """A grid-based subscription clustering algorithm (section 4)."""
+
+    #: human-readable name used in reports and figures
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        cells: CellSet,
+        n_groups: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Clustering:
+        """Partition ``cells`` into at most ``n_groups`` multicast groups."""
+
+    @staticmethod
+    def _validate(cells: CellSet, n_groups: int) -> None:
+        if n_groups < 1:
+            raise ValueError("need at least one group")
+        if len(cells) == 0:
+            raise ValueError("cannot cluster an empty cell set")
+
+    @staticmethod
+    def _compact_assignment(raw: np.ndarray) -> np.ndarray:
+        """Renumber group labels to a dense 0..n-1 range."""
+        _, dense = np.unique(raw, return_inverse=True)
+        return dense.reshape(-1)

@@ -1,0 +1,125 @@
+"""Coordinate-based ("similar interest") clustering baseline.
+
+Section 4.1 argues for membership vectors as feature vectors: "Using
+coordinates in Omega for this purpose would lead to poorer solutions,
+since our goal is to create groups based on *common* as opposed to
+*similar* interest", citing the preference-clustering work of Wong,
+Katz and McCanne [19].  This module implements exactly the rejected
+alternative — K-means over cell-centre coordinates in the event space —
+so the claim can be measured rather than taken on faith (see
+``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..grid import CellSet
+from .base import Clustering, GridClusteringAlgorithm
+
+__all__ = ["CoordinateKMeansClustering"]
+
+
+class CoordinateKMeansClustering(GridClusteringAlgorithm):
+    """Lloyd's K-means on hyper-cell centroid coordinates.
+
+    Each hyper-cell is represented by the mean of its grid cells'
+    lattice coordinates, normalised per dimension; groups are formed by
+    plain Euclidean K-means weighted by publication probability.  The
+    result still plugs into the grid matcher — only the notion of
+    similarity differs from the expected-waste algorithms.
+    """
+
+    name = "coordinate-kmeans"
+
+    def __init__(self, max_iters: int = 100) -> None:
+        if max_iters < 1:
+            raise ValueError("max_iters must be positive")
+        self.max_iters = max_iters
+        self.n_iterations_: Optional[int] = None
+
+    def fit(
+        self,
+        cells: CellSet,
+        n_groups: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Clustering:
+        self._validate(cells, n_groups)
+        m = len(cells)
+        if n_groups >= m:
+            self.n_iterations_ = 0
+            return Clustering(cells, np.arange(m, dtype=np.int64))
+        if rng is None:
+            rng = np.random.default_rng()
+
+        features = self._features(cells)
+        weights = np.maximum(cells.probs, 1e-15)
+
+        # k-means++ style seeding biased by publication probability
+        centroids = np.empty((n_groups, features.shape[1]))
+        first = rng.choice(m, p=weights / weights.sum())
+        centroids[0] = features[first]
+        closest = np.full(m, np.inf)
+        for g in range(1, n_groups):
+            d = np.sum((features - centroids[g - 1]) ** 2, axis=1)
+            closest = np.minimum(closest, d)
+            scores = closest * weights
+            total = scores.sum()
+            if total <= 0:
+                centroids[g] = features[int(rng.integers(0, m))]
+                continue
+            centroids[g] = features[rng.choice(m, p=scores / total)]
+
+        assignment = np.zeros(m, dtype=np.int64)
+        for iteration in range(1, self.max_iters + 1):
+            distances = (
+                np.sum(features**2, axis=1)[:, None]
+                - 2.0 * features @ centroids.T
+                + np.sum(centroids**2, axis=1)[None, :]
+            )
+            new_assignment = np.argmin(distances, axis=1)
+            new_assignment = self._fix_empty(new_assignment, distances, n_groups)
+            if np.array_equal(new_assignment, assignment) and iteration > 1:
+                self.n_iterations_ = iteration
+                break
+            assignment = new_assignment
+            for g in range(n_groups):
+                members = assignment == g
+                w = weights[members]
+                centroids[g] = np.average(features[members], axis=0, weights=w)
+        else:
+            self.n_iterations_ = self.max_iters
+        return Clustering(cells, assignment)
+
+    @staticmethod
+    def _features(cells: CellSet) -> np.ndarray:
+        """Normalised centroid coordinates of each hyper-cell."""
+        space = cells.space
+        shape = np.asarray(space.shape, dtype=np.float64)
+        features = np.empty((len(cells), space.n_dims))
+        for h, ids in enumerate(cells.cell_ids):
+            coords = np.array([space.cell_coords(int(c)) for c in ids], float)
+            features[h] = coords.mean(axis=0)
+        return features / shape  # scale every dimension into [0, 1)
+
+    @staticmethod
+    def _fix_empty(
+        assignment: np.ndarray, distances: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        assignment = assignment.copy()
+        counts = np.bincount(assignment, minlength=n_groups)
+        empty = np.nonzero(counts == 0)[0]
+        if len(empty) == 0:
+            return assignment
+        own = distances[np.arange(len(assignment)), assignment]
+        order = np.argsort(-own, kind="stable")
+        for g in empty:
+            for cell in order:
+                if counts[assignment[cell]] > 1:
+                    counts[assignment[cell]] -= 1
+                    assignment[cell] = g
+                    counts[g] = 1
+                    break
+        return assignment

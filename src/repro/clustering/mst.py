@@ -1,0 +1,56 @@
+"""Minimum-spanning-tree clustering (section 4.4).
+
+Zahn-style MST clustering on the complete graph whose nodes are the
+hyper-cells and whose edge lengths are the expected-waste distances
+*between cells* (not between groups — that is the difference from
+Pairwise Grouping, and why the edges can be sorted once up front, Kruskal
+style).  Edges are processed in non-decreasing length order, merging
+components, until exactly ``K`` components remain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..grid import CellSet
+from ..network import UnionFind
+from .base import Clustering, GridClusteringAlgorithm
+from .distance import pairwise_waste_matrix
+
+__all__ = ["MSTClustering"]
+
+
+class MSTClustering(GridClusteringAlgorithm):
+    """Kruskal's algorithm stopped at ``K`` connected components."""
+
+    name = "mst"
+
+    def fit(
+        self,
+        cells: CellSet,
+        n_groups: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Clustering:
+        self._validate(cells, n_groups)
+        m = len(cells)
+        if n_groups >= m:
+            return Clustering(cells, np.arange(m, dtype=np.int64))
+
+        distances = pairwise_waste_matrix(
+            cells.membership, cells.probs
+        ).astype(np.float32)
+        rows, cols = np.triu_indices(m, k=1)
+        order = np.argsort(distances[rows, cols], kind="stable")
+
+        components = UnionFind(m)
+        for edge in order:
+            if components.components <= n_groups:
+                break
+            components.union(int(rows[edge]), int(cols[edge]))
+
+        roots = np.fromiter(
+            (components.find(i) for i in range(m)), dtype=np.int64, count=m
+        )
+        return Clustering(cells, self._compact_assignment(roots))

@@ -1,0 +1,342 @@
+"""The No-Loss clustering algorithm (section 4.5).
+
+Grid-based algorithms can waste messages: subscription rectangles are not
+aligned to cell borders, so a multicast group formed from cells may
+contain subscribers not interested in a particular event.  The No-Loss
+algorithm instead forms groups from regions *aligned to the borders of
+the interest rectangles themselves* — intersections of subscription
+rectangles — so every subscriber in a matched group is guaranteed to be
+interested.
+
+Figure 4 of the paper is unreadable in the available scan; the algorithm
+is reconstructed from the prose (see DESIGN.md): starting from the
+subscription rectangles, repeatedly generate pairwise intersections,
+score every candidate region ``s`` by its weight ``w(s) = p_p(s)·|u(s)|``
+— the publication mass of the region times the number of subscribers
+whose interest contains the *whole* region — and keep the ``n`` heaviest
+candidates each iteration.  After the final iteration the ``K`` heaviest
+regions become the multicast groups (group ``s`` consists of the
+subscribers ``u(s)``), matching the run parameters reported in section 5
+("5000 rectangles kept after intersection and 8 iterations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import EventSpace, Rectangle
+from ..workload import SubscriptionSet
+
+__all__ = ["NoLossResult", "NoLossAlgorithm", "LatticeBlockMass"]
+
+
+class LatticeBlockMass:
+    """O(1) publication mass of axis-aligned blocks of the lattice.
+
+    Precomputes the N-dimensional prefix-sum of the flat cell pmf; the
+    mass of any half-open rectangle is then an inclusion-exclusion over
+    ``2^N`` prefix values.
+    """
+
+    def __init__(self, space: EventSpace, cell_pmf: np.ndarray) -> None:
+        cell_pmf = np.asarray(cell_pmf, dtype=np.float64)
+        if cell_pmf.shape != (space.n_cells,):
+            raise ValueError("cell_pmf must cover every grid cell")
+        self.space = space
+        prefix = cell_pmf.reshape(space.shape).copy()
+        for axis in range(prefix.ndim):
+            np.cumsum(prefix, axis=axis, out=prefix)
+        # pad with a zero hyper-plane at the origin of each axis so that
+        # prefix[i0..] indexes "sum of cells < i" cleanly
+        self._prefix = np.pad(prefix, [(1, 0)] * prefix.ndim)
+
+    def rectangle_mass(self, rectangle: Rectangle) -> float:
+        """Total pmf of lattice cells wholly inside the rectangle.
+
+        No-loss regions must only count events *guaranteed* to interest
+        every member, so a cell contributes only when the rectangle
+        contains it entirely.
+        """
+        import math
+
+        bounds = []
+        for dim, side in zip(self.space.dimensions, rectangle.sides):
+            if side.is_empty:
+                return 0.0
+            # cell c covers (lo+c-1, lo+c]; it is inside (a, b] iff
+            # a <= lo+c-1 and lo+c <= b
+            first = int(math.ceil(side.lo - dim.lo + 1.0 - 1e-9))
+            last = int(math.floor(side.hi - dim.lo + 1e-9))
+            first = max(first, 0)
+            last = min(last, dim.n_cells - 1)
+            if last < first:
+                return 0.0
+            bounds.append((first, last + 1))
+        # inclusion-exclusion over the 2^N corners of the padded prefix
+        # array: the all-upper corner is positive and each lower index
+        # flips the sign
+        n = len(bounds)
+        total = 0.0
+        for mask in range(1 << n):
+            sign = 1
+            idx = []
+            for d in range(n):
+                if mask >> d & 1:
+                    idx.append(bounds[d][1])
+                else:
+                    idx.append(bounds[d][0])
+                    sign = -sign
+            total += sign * float(self._prefix[tuple(idx)])
+        return max(total, 0.0)
+
+
+@dataclass
+class NoLossResult:
+    """Output of the No-Loss algorithm.
+
+    ``los``/``his`` are ``(n, N)`` bound matrices of the retained regions
+    in *decreasing weight order*; ``weights[r]`` is ``w(s_r)`` and
+    ``members[r]`` the subscriber ids of ``u(s_r)``.
+
+    Several regions may share the same subscriber set ``u(s)`` — they
+    then map to the *same* multicast group, since a multicast group is a
+    set of subscribers, not a region.  The paper's budget of ``K``
+    multicast groups therefore limits the number of distinct member
+    sets: the retained region list is the longest weight-ordered prefix
+    whose regions span at most ``K`` distinct sets.  ``group_of[r]`` is
+    the group index of region ``r`` and ``group_members[g]`` the
+    subscriber composition of group ``g``.
+    """
+
+    space: EventSpace
+    los: np.ndarray
+    his: np.ndarray
+    weights: np.ndarray
+    members: List[np.ndarray]
+    group_of: np.ndarray
+    group_members: List[np.ndarray]
+
+    def __post_init__(self) -> None:
+        n = len(self.weights)
+        if not (len(self.los) == len(self.his) == n == len(self.members)):
+            raise ValueError("inconsistent result arrays")
+        if len(self.group_of) != n:
+            raise ValueError("group_of must map every region")
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct multicast groups."""
+        return len(self.group_members)
+
+    def rectangle(self, index: int) -> Rectangle:
+        return Rectangle.from_bounds(self.los[index], self.his[index])
+
+    def match(self, point: Sequence[float]) -> int:
+        """Index of the heaviest region containing the point, or -1.
+
+        Implements the selection rule of Figure 6: among the retained
+        regions that contain the event, pick the one with the greatest
+        density ``w``; regions are stored sorted by weight, so the first
+        hit wins.
+        """
+        x = np.asarray(point, dtype=np.float64)
+        mask = np.all((self.los < x) & (x <= self.his), axis=1)
+        hits = np.nonzero(mask)[0]
+        return int(hits[0]) if len(hits) else -1
+
+
+class NoLossAlgorithm:
+    """Iterative most-popular-intersection search."""
+
+    name = "no-loss"
+
+    def __init__(
+        self,
+        n_keep: int = 5000,
+        iterations: int = 8,
+        pair_budget: int = 20000,
+    ) -> None:
+        if n_keep < 1:
+            raise ValueError("n_keep must be positive")
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        if pair_budget < 1:
+            raise ValueError("pair_budget must be positive")
+        self.n_keep = n_keep
+        self.iterations = iterations
+        self.pair_budget = pair_budget
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        subscriptions: SubscriptionSet,
+        cell_pmf: np.ndarray,
+        n_groups: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> NoLossResult:
+        """Run the algorithm and return the weighted region list."""
+        if n_groups < 1:
+            raise ValueError("need at least one group")
+        if rng is None:
+            rng = np.random.default_rng()
+        space = subscriptions.space
+        mass = LatticeBlockMass(space, cell_pmf)
+        sub_los, sub_his = subscriptions.bounds()
+        owners = np.array(
+            [s.subscriber for s in subscriptions.subscriptions], dtype=np.int64
+        )
+        domain_los = np.array(
+            [d.lo - 1.0 for d in space.dimensions], dtype=np.float64
+        )
+        domain_his = np.array(
+            [float(d.hi) for d in space.dimensions], dtype=np.float64
+        )
+
+        # initial candidate set: the subscription rectangles clipped to
+        # the lattice domain, de-duplicated
+        los = np.maximum(sub_los, domain_los)
+        his = np.minimum(sub_his, domain_his)
+        los, his = self._dedupe(los, his)
+
+        los, his, weights, members = self._score(
+            los, his, sub_los, sub_his, owners, mass
+        )
+        for _ in range(self.iterations):
+            new_los, new_his = self._intersections(los, his, rng)
+            if len(new_los):
+                los = np.concatenate([los, new_los])
+                his = np.concatenate([his, new_his])
+                los, his = self._dedupe(los, his)
+                los, his, weights, members = self._score(
+                    los, his, sub_los, sub_his, owners, mass
+                )
+            if len(los) > self.n_keep:
+                los = los[: self.n_keep]
+                his = his[: self.n_keep]
+                weights = weights[: self.n_keep]
+                members = members[: self.n_keep]
+
+        return self._assemble(space, los, his, weights, members, n_groups)
+
+    @staticmethod
+    def _assemble(
+        space: EventSpace,
+        los: np.ndarray,
+        his: np.ndarray,
+        weights: np.ndarray,
+        members: List[np.ndarray],
+        n_groups: int,
+    ) -> NoLossResult:
+        """Select the ``n_groups`` heaviest distinct subscriber sets as
+        multicast groups and keep every region mapping to one of them.
+
+        Regions are scanned in decreasing weight order; the first
+        ``n_groups`` distinct member sets become the groups.  Later
+        regions whose member set is one of the selected groups remain
+        usable by the matcher at no extra group cost (a multicast group
+        is a subscriber set, not a region); regions with unselected sets
+        are dropped."""
+        group_index: Dict[bytes, int] = {}
+        group_members: List[np.ndarray] = []
+        group_of: List[int] = []
+        kept: List[int] = []
+        for r in range(len(weights)):
+            key = members[r].astype(np.int64).tobytes()
+            g = group_index.get(key)
+            if g is None:
+                if len(group_members) >= n_groups:
+                    continue
+                g = len(group_members)
+                group_index[key] = g
+                group_members.append(members[r])
+            group_of.append(g)
+            kept.append(r)
+        kept_idx = np.asarray(kept, dtype=np.int64)
+        return NoLossResult(
+            space=space,
+            los=los[kept_idx],
+            his=his[kept_idx],
+            weights=weights[kept_idx],
+            members=[members[r] for r in kept],
+            group_of=np.asarray(group_of, dtype=np.int64),
+            group_members=group_members,
+        )
+
+    # ------------------------------------------------------------------
+    def _intersections(
+        self, los: np.ndarray, his: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pairwise intersections of the current candidates.
+
+        All pairs when affordable, otherwise a random sample of
+        ``pair_budget`` pairs — the algorithm only needs to *find* popular
+        intersections, not enumerate them exhaustively.
+        """
+        n = len(los)
+        if n < 2:
+            return np.empty((0, los.shape[1])), np.empty((0, los.shape[1]))
+        n_pairs = n * (n - 1) // 2
+        if n_pairs <= self.pair_budget:
+            ii, jj = np.triu_indices(n, k=1)
+        else:
+            ii = rng.integers(0, n, size=self.pair_budget)
+            jj = rng.integers(0, n, size=self.pair_budget)
+            valid = ii != jj
+            ii, jj = ii[valid], jj[valid]
+        new_los = np.maximum(los[ii], los[jj])
+        new_his = np.minimum(his[ii], his[jj])
+        nonempty = np.all(new_los < new_his, axis=1)
+        return new_los[nonempty], new_his[nonempty]
+
+    @staticmethod
+    def _dedupe(
+        los: np.ndarray, his: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        stacked = np.round(np.concatenate([los, his], axis=1), 9)
+        _, keep = np.unique(stacked, axis=0, return_index=True)
+        keep.sort()
+        return los[keep], his[keep]
+
+    def _score(
+        self,
+        los: np.ndarray,
+        his: np.ndarray,
+        sub_los: np.ndarray,
+        sub_his: np.ndarray,
+        owners: np.ndarray,
+        mass: LatticeBlockMass,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[np.ndarray]]:
+        """Weight every candidate and keep the heaviest, sorted by weight."""
+        weights = np.empty(len(los), dtype=np.float64)
+        members: List[np.ndarray] = []
+        for r in range(len(los)):
+            containing = np.all(
+                (sub_los <= los[r]) & (his[r] <= sub_his), axis=1
+            )
+            u = np.unique(owners[containing])
+            members.append(u)
+            if len(u) == 0:
+                weights[r] = 0.0
+                continue
+            rect = Rectangle.from_bounds(los[r], his[r])
+            weights[r] = mass.rectangle_mass(rect) * len(u)
+        order = np.argsort(-weights, kind="stable")
+        positive = order[weights[order] > 0.0]
+        if len(positive) == 0:
+            raise ValueError(
+                "no candidate region has positive weight; check that the "
+                "publication pmf overlaps the subscriptions"
+            )
+        keep = positive[: self.n_keep]
+        return (
+            los[keep],
+            his[keep],
+            weights[keep],
+            [members[i] for i in keep],
+        )

@@ -1,0 +1,90 @@
+"""Outlier removal for cell clustering (the paper's future-work study).
+
+Section 4.1 observes that "the more cells are given to clustering
+algorithm, the worse the quality of solution becomes.  This justifies
+the need for the implementation of outlier removal algorithms for
+detection of cells that have rather unique combination of subscribers";
+section 5.2 leaves "the study of outlier removal effects for future
+work".  This module implements that study's missing piece.
+
+A hyper-cell is an *outlier* when grouping it with anything else is
+expensive relative to how often it receives events: its nearest-
+neighbour expected-waste distance is large compared to its own
+popularity.  Outliers are excluded from clustering (they fall back to
+unicast at match time, exactly like cells dropped by the popularity
+cut), which protects the groups from absorbing cells with unique
+subscriber combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..grid import CellSet
+from .distance import pairwise_waste_matrix
+
+__all__ = ["OutlierFilter", "nearest_neighbor_waste"]
+
+
+def nearest_neighbor_waste(cells: CellSet) -> np.ndarray:
+    """Distance from each hyper-cell to its closest other hyper-cell.
+
+    Cells whose nearest neighbour is far (in expected-waste terms) have
+    no cheap merge partner: any group containing them wastes messages.
+    """
+    if len(cells) < 2:
+        return np.zeros(len(cells))
+    distances = pairwise_waste_matrix(cells.membership, cells.probs)
+    np.fill_diagonal(distances, np.inf)
+    return distances.min(axis=1)
+
+
+@dataclass(frozen=True)
+class OutlierFilter:
+    """Drops the hyper-cells with the least affordable merge partners.
+
+    Each cell's *badness* is its nearest-neighbour expected waste divided
+    by its own popularity rating ``r(a) = p_p(a)·|s(a)|`` — how much a
+    merge costs relative to the useful traffic the cell generates.  The
+    filter discards the worst ``fraction`` of cells by badness (those
+    with "rather unique combinations of subscribers", in the paper's
+    words), provided their badness exceeds ``min_ratio``; a quantile
+    criterion adapts to the workload where a fixed threshold would not.
+    """
+
+    fraction: float = 0.05
+    min_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError("fraction must be in [0, 1)")
+        if self.min_ratio < 0:
+            raise ValueError("min_ratio must be non-negative")
+
+    def split(self, cells: CellSet) -> Tuple[CellSet, np.ndarray]:
+        """Return ``(kept_cells, outlier_indices)``.
+
+        ``outlier_indices`` index into the *input* cell set.  When
+        nothing qualifies, the input object is returned unchanged.
+        """
+        m = len(cells)
+        if m < 3 or self.fraction == 0.0:
+            return cells, np.empty(0, dtype=np.int64)
+        nn = nearest_neighbor_waste(cells)
+        popularity = cells.popularity
+        badness = nn / np.maximum(popularity, 1e-15)
+        budget = int(np.ceil(self.fraction * m))
+        order = np.argsort(-badness, kind="stable")[:budget]
+        candidates = order[badness[order] > self.min_ratio]
+        if len(candidates) == 0:
+            return cells, np.empty(0, dtype=np.int64)
+        keep = np.setdiff1d(np.arange(m), candidates)
+        return cells._subset(keep), np.sort(candidates)
+
+    def apply(self, cells: CellSet) -> CellSet:
+        """Convenience wrapper returning only the kept cells."""
+        kept, _ = self.split(cells)
+        return kept

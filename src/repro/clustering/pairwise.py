@@ -1,0 +1,195 @@
+"""Pairwise Grouping and its approximate variant (section 4.3).
+
+Pairwise Grouping is bottom-up agglomeration: every hyper-cell starts in
+its own group; while more than ``K`` groups remain, the two groups at
+minimum expected-waste distance are merged (the merged group's membership
+vector is the union, its probability the sum).  Distances are between
+*groups*, so they must be recomputed after every merge — this is what
+makes Pairwise Grouping slower than MST clustering on the same data.
+
+The **approximate** variant replaces the exact minimum search with the
+classic secretary rule: it inspects a fraction ``1/e`` of the candidate
+pairs, remembers the best distance seen, then keeps scanning and stops at
+the first pair that beats it (falling back to the remembered best).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..grid import CellSet
+from .base import Clustering, GridClusteringAlgorithm
+from .distance import pairwise_waste_matrix
+
+__all__ = ["PairwiseGroupingClustering", "ApproximatePairwiseClustering"]
+
+
+class _AgglomerativeState:
+    """Mutable merge state shared by the exact and approximate variants."""
+
+    def __init__(self, cells: CellSet) -> None:
+        m = len(cells)
+        self.cells = cells
+        self.active = np.ones(m, dtype=bool)
+        self.membership = cells.membership.copy()
+        self.probs = cells.probs.copy().astype(np.float64)
+        self.sizes = self.membership.sum(axis=1).astype(np.float64)
+        self.parent = np.arange(m, dtype=np.int64)
+        # full distance matrix with +inf masking for inactive/diagonal
+        self.distances = pairwise_waste_matrix(
+            cells.membership, cells.probs
+        ).astype(np.float32)
+        np.fill_diagonal(self.distances, np.inf)
+        self.n_active = m
+
+    def merge(self, i: int, j: int) -> None:
+        """Absorb group ``j`` into group ``i`` and refresh distances."""
+        if i == j or not (self.active[i] and self.active[j]):
+            raise ValueError("merge requires two distinct active groups")
+        self.membership[i] |= self.membership[j]
+        self.probs[i] += self.probs[j]
+        self.sizes[i] = float(self.membership[i].sum())
+        self.active[j] = False
+        self.parent[j] = i
+        self.n_active -= 1
+        self.distances[j, :] = np.inf
+        self.distances[:, j] = np.inf
+        # recompute group-i distances to every other active group
+        others = np.nonzero(self.active)[0]
+        others = others[others != i]
+        if len(others) == 0:
+            self.distances[i, :] = np.inf
+            return
+        inter = (
+            self.membership[others].astype(np.float32)
+            @ self.membership[i].astype(np.float32)
+        ).astype(np.float64)
+        row = self.probs[i] * (self.sizes[others] - inter)
+        row += self.probs[others] * (self.sizes[i] - inter)
+        self.distances[i, :] = np.inf
+        self.distances[:, i] = np.inf
+        self.distances[i, others] = row.astype(np.float32)
+        self.distances[others, i] = row.astype(np.float32)
+
+    def assignment(self) -> np.ndarray:
+        """Dense group labels after all merges (path-compressed roots)."""
+        roots = self.parent.copy()
+        for idx in range(len(roots)):
+            r = idx
+            while self.parent[r] != r:
+                r = self.parent[r]
+            roots[idx] = r
+        _, dense = np.unique(roots, return_inverse=True)
+        return dense.reshape(-1)
+
+
+class PairwiseGroupingClustering(GridClusteringAlgorithm):
+    """Exact Pairwise Grouping: merge the globally closest pair each step."""
+
+    name = "pairs"
+
+    def fit(
+        self,
+        cells: CellSet,
+        n_groups: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Clustering:
+        self._validate(cells, n_groups)
+        if n_groups >= len(cells):
+            return Clustering(cells, np.arange(len(cells), dtype=np.int64))
+        state = _AgglomerativeState(cells)
+        while state.n_active > n_groups:
+            flat = int(np.argmin(state.distances))
+            i, j = divmod(flat, state.distances.shape[1])
+            state.merge(i, j)
+        return Clustering(cells, state.assignment())
+
+
+class ApproximatePairwiseClustering(GridClusteringAlgorithm):
+    """Pairwise Grouping with the secretary-rule approximate pair search.
+
+    Each merge step draws candidate pairs of active groups uniformly at
+    random: the first ``ceil(n_pairs / e)`` candidates establish a
+    benchmark distance, and the scan stops at the first later candidate
+    that beats the benchmark (or exhausts its inspection budget and falls
+    back to the benchmark pair).  Faster than the exact search on large
+    inputs, at some cost in solution quality.
+    """
+
+    name = "approx-pairs"
+
+    def __init__(
+        self, chunk_size: int = 32768, observe_cap: int = 32768
+    ) -> None:
+        """``observe_cap`` bounds the number of candidate pairs drawn in
+        the observation phase of one merge step; the secretary fraction
+        ``n_pairs / e`` is used when it is smaller."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if observe_cap < 1:
+            raise ValueError("observe_cap must be positive")
+        self.chunk_size = chunk_size
+        self.observe_cap = observe_cap
+
+    def fit(
+        self,
+        cells: CellSet,
+        n_groups: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Clustering:
+        self._validate(cells, n_groups)
+        if rng is None:
+            rng = np.random.default_rng()
+        if n_groups >= len(cells):
+            return Clustering(cells, np.arange(len(cells), dtype=np.int64))
+        state = _AgglomerativeState(cells)
+        while state.n_active > n_groups:
+            i, j = self._select_pair(state, rng)
+            state.merge(i, j)
+        return Clustering(cells, state.assignment())
+
+    def _select_pair(
+        self, state: _AgglomerativeState, rng: np.random.Generator
+    ) -> Tuple[int, int]:
+        active = np.nonzero(state.active)[0]
+        a = len(active)
+        n_pairs = a * (a - 1) // 2
+        if n_pairs <= 2 * self.chunk_size:
+            # few enough pairs: exact search is cheaper than sampling
+            sub = state.distances[np.ix_(active, active)]
+            flat = int(np.argmin(sub))
+            i, j = divmod(flat, a)
+            return int(active[i]), int(active[j])
+
+        # observation phase: one vectorised draw of the secretary fraction
+        # (bounded by observe_cap to keep per-step work flat)
+        observe = min(max(1, math.ceil(n_pairs / math.e)), self.observe_cap)
+        ii = active[rng.integers(0, a, size=observe)]
+        jj = active[rng.integers(0, a, size=observe)]
+        valid = ii != jj
+        ii, jj = ii[valid], jj[valid]
+        ds = state.distances[ii, jj]
+        k = int(np.argmin(ds))
+        best_d = float(ds[k])
+        best_pair = (int(ii[k]), int(jj[k]))
+
+        # selection phase: keep drawing and stop at the first pair that
+        # beats the benchmark; give up after the remaining pair budget
+        remaining = min(n_pairs - observe, 2 * self.chunk_size)
+        while remaining > 0:
+            size = min(self.chunk_size, remaining)
+            remaining -= size
+            ii = active[rng.integers(0, a, size=size)]
+            jj = active[rng.integers(0, a, size=size)]
+            valid = ii != jj
+            ii, jj = ii[valid], jj[valid]
+            if len(ii) == 0:
+                continue
+            ds = state.distances[ii, jj]
+            k = int(np.argmin(ds))
+            if ds[k] < best_d:
+                return int(ii[k]), int(jj[k])
+        return best_pair

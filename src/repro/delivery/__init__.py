@@ -1,0 +1,8 @@
+"""Delivery layer: executes delivery plans against the network cost
+models (unicast / broadcast / dense-mode multicast / application-level
+multicast)."""
+
+from .adaptive import AdaptiveDecision, AdaptiveDeliveryPolicy
+from .dispatcher import SCHEMES, Dispatcher
+
+__all__ = ["SCHEMES", "Dispatcher", "AdaptiveDecision", "AdaptiveDeliveryPolicy"]

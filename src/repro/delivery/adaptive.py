@@ -1,0 +1,95 @@
+"""Dynamic unicast / multicast / broadcast selection.
+
+The paper's abstract: "Some of these same concepts can be applied ...
+to determine dynamically whether to unicast, multicast or broadcast
+information about the events over the network to the matched
+subscribers."  This module implements that per-event decision: price
+the matcher's plan, the pure-unicast fallback and a broadcast (which
+reaches a superset of the matched subscribers — permitted explicitly by
+the paper, "possibly to a superset of those subscribers ... to be
+filtered out as necessary"), and execute the cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..matching import DeliveryPlan
+from .dispatcher import Dispatcher
+
+__all__ = ["AdaptiveDecision", "AdaptiveDeliveryPolicy"]
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """Outcome of the per-event mode selection."""
+
+    mode: str  # "unicast" | "multicast" | "broadcast"
+    cost: float
+    candidate_costs: Dict[str, float]
+
+    @property
+    def savings_vs_unicast(self) -> float:
+        return self.candidate_costs["unicast"] - self.cost
+
+
+class AdaptiveDeliveryPolicy:
+    """Chooses the cheapest delivery mode per event.
+
+    ``broadcast_penalty`` (>= 1) discounts against broadcast: delivering
+    to every node costs filtering work at uninterested nodes, so a
+    deployment may require broadcast to be strictly cheaper by a factor
+    before flooding.  ``multicast`` is only considered when the plan
+    actually uses a group.
+    """
+
+    def __init__(
+        self, dispatcher: Dispatcher, broadcast_penalty: float = 1.0
+    ) -> None:
+        if broadcast_penalty < 1.0:
+            raise ValueError("broadcast_penalty must be at least 1")
+        self.dispatcher = dispatcher
+        self.broadcast_penalty = broadcast_penalty
+        #: per-mode selection counts, for reporting
+        self.mode_counts: Dict[str, int] = {
+            "unicast": 0,
+            "multicast": 0,
+            "broadcast": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def decide(self, publisher: int, plan: DeliveryPlan) -> AdaptiveDecision:
+        """Pick the cheapest of {unicast, plan-multicast, broadcast}."""
+        candidates: Dict[str, float] = {}
+        candidates["unicast"] = self.dispatcher.unicast_reference(
+            publisher, plan.interested
+        )
+        if plan.uses_multicast:
+            candidates["multicast"] = self.dispatcher.plan_cost(
+                publisher, plan
+            )
+        if len(plan.interested):
+            candidates["broadcast"] = (
+                self.dispatcher.broadcast_reference(publisher)
+                * self.broadcast_penalty
+            )
+        mode = min(candidates, key=candidates.get)
+        self.mode_counts[mode] += 1
+        return AdaptiveDecision(
+            mode=mode,
+            cost=candidates[mode],
+            candidate_costs=candidates,
+        )
+
+    # ------------------------------------------------------------------
+    def mode_rates(self) -> Dict[str, float]:
+        """Fraction of decisions per mode."""
+        total = sum(self.mode_counts.values())
+        if total == 0:
+            return {mode: 0.0 for mode in self.mode_counts}
+        return {
+            mode: count / total for mode, count in self.mode_counts.items()
+        }

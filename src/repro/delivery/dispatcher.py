@@ -1,0 +1,131 @@
+"""Turning delivery plans into network communication costs.
+
+Given a :class:`~repro.matching.DeliveryPlan` for an event published at
+some node, the dispatcher computes the total edge cost of executing the
+plan under either multicast framework:
+
+* ``"dense"`` — network-supported dense-mode multicast: each used group is
+  reached over the shortest-path tree rooted at the publisher, pruned to
+  the group's nodes.
+* ``"alm"`` — application-level multicast: each used group forms a
+  minimum-spanning-tree overlay (in shortest-path metric) including the
+  publisher, and every overlay hop is a unicast.
+* ``"sparse"`` — sparse-mode (shared-tree) multicast: the publisher
+  unicasts to a rendezvous-point core node, which forwards down the
+  shared shortest-path tree to the group.  The paper evaluates dense
+  mode; this alternative quantifies the shared-tree detour.
+
+Unicast legs always travel the shortest path from the publisher.  A node
+already covered by one of the plan's multicast groups does not need a
+separate unicast copy — the local broker hands the message to co-located
+subscribers — so unicast targets are de-duplicated against multicast
+coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..matching import DeliveryPlan
+from ..network import (
+    RoutingTables,
+    application_multicast_cost,
+    broadcast_cost,
+    dense_multicast_cost,
+    ideal_multicast_cost,
+    select_core,
+    sparse_multicast_cost,
+    unicast_cost,
+)
+from ..workload import SubscriptionSet
+
+__all__ = ["Dispatcher", "SCHEMES"]
+
+SCHEMES = ("dense", "alm", "sparse")
+
+
+class Dispatcher:
+    """Computes delivery costs of plans and of the reference schemes."""
+
+    def __init__(
+        self,
+        routing: RoutingTables,
+        subscriptions: SubscriptionSet,
+        scheme: str = "dense",
+        core: Optional[int] = None,
+    ) -> None:
+        """``core`` designates the sparse-mode rendezvous point; when
+        omitted the network's 1-median is used (computed lazily, only
+        when the sparse scheme actually prices a plan)."""
+        if scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}")
+        self.routing = routing
+        self.subscriptions = subscriptions
+        self.scheme = scheme
+        self._core = core
+
+    @property
+    def core(self) -> int:
+        """The sparse-mode rendezvous point node."""
+        if self._core is None:
+            self._core = select_core(self.routing)
+        return self._core
+
+    # ------------------------------------------------------------------
+    def plan_cost(self, publisher: int, plan: DeliveryPlan) -> float:
+        """Network cost of executing ``plan`` from ``publisher``."""
+        total = 0.0
+        covered_nodes: List[np.ndarray] = []
+        for members in plan.group_members:
+            nodes = self.subscriptions.nodes_of_subscribers(members)
+            covered_nodes.append(nodes)
+            total += self._group_cost(publisher, nodes)
+        unicast_nodes = self.subscriptions.nodes_of_subscribers(
+            plan.unicast_subscribers
+        )
+        if covered_nodes:
+            already = np.unique(np.concatenate(covered_nodes))
+            unicast_nodes = np.setdiff1d(unicast_nodes, already)
+        total += unicast_cost(self.routing, publisher, unicast_nodes)
+        return total
+
+    def _group_cost(self, publisher: int, nodes) -> float:
+        """Cost of one multicast transmission under the active scheme."""
+        if self.scheme == "dense":
+            return dense_multicast_cost(self.routing, publisher, nodes)
+        if self.scheme == "alm":
+            return application_multicast_cost(self.routing, publisher, nodes)
+        return sparse_multicast_cost(self.routing, publisher, nodes, self.core)
+
+    # ------------------------------------------------------------------
+    # reference schemes of Tables 1 and 2
+    # ------------------------------------------------------------------
+    def unicast_reference(
+        self, publisher: int, interested: Sequence[int]
+    ) -> float:
+        """Pure unicast to every interested subscriber's node."""
+        nodes = self.subscriptions.nodes_of_subscribers(interested)
+        return unicast_cost(self.routing, publisher, nodes)
+
+    def broadcast_reference(self, publisher: int) -> float:
+        """Flooding every network node."""
+        return broadcast_cost(self.routing, publisher)
+
+    def ideal_reference(
+        self, publisher: int, interested: Sequence[int]
+    ) -> float:
+        """Per-event ideal multicast group (exactly the interested nodes).
+
+        Under the ``alm`` scheme the ideal group still communicates over
+        an overlay MST, mirroring how the achievable optimum differs
+        between the two frameworks.
+        """
+        nodes = self.subscriptions.nodes_of_subscribers(interested)
+        if len(nodes) == 0:
+            return 0.0
+        if self.scheme == "dense":
+            return ideal_multicast_cost(self.routing, publisher, nodes)
+        return self._group_cost(publisher, nodes)

@@ -1,0 +1,196 @@
+"""Grid cells, membership vectors and hyper-cells (section 4.1).
+
+The grid-based clustering framework overlays a regular grid on the event
+space and associates with every cell ``a`` its *subscriber membership
+vector* ``s(a)``: bit ``i`` is set when some subscription rectangle of
+subscriber ``i`` overlaps the cell.  Cells with identical membership
+vectors can be combined at zero expected waste; the implementation merges
+them into *hyper-cells*.  Hyper-cells are then ranked by the popularity
+rating ``r(a) = p_p(a) * sum_i s(a)_i`` and only the most popular ones are
+fed to the clustering algorithm (the rest fall back to unicast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import EventSpace
+from ..workload import SubscriptionSet
+
+__all__ = ["CellSet", "build_membership_matrix", "build_cell_set"]
+
+
+def build_membership_matrix(
+    space: EventSpace, subscriptions: SubscriptionSet
+) -> np.ndarray:
+    """Dense membership matrix over all grid cells.
+
+    Returns a boolean array of shape ``(space.n_cells, n_subscribers)``
+    where entry ``(c, i)`` is ``s(c)_i`` from equation (1) of the paper.
+    Because every subscription rectangle overlaps a *contiguous block* of
+    cells in each dimension, the matrix is filled with one numpy block
+    assignment per subscription.
+
+    Subscription sources that are not rectangle-based (the predicate
+    sets of :mod:`repro.workload.predicates`) provide their own
+    ``membership_matrix`` rasterisation, which takes precedence.
+    """
+    own = getattr(subscriptions, "membership_matrix", None)
+    if own is not None:
+        return own(space)
+    n_subs = subscriptions.n_subscribers
+    shaped = np.zeros(space.shape + (n_subs,), dtype=bool)
+    for sub in subscriptions.subscriptions:
+        try:
+            slices = space.cell_slices(sub.rectangle)
+        except ValueError:
+            continue  # rectangle entirely outside the grid: matches nothing
+        shaped[slices + (sub.subscriber,)] = True
+    return shaped.reshape(space.n_cells, n_subs)
+
+
+@dataclass
+class CellSet:
+    """Hyper-cells selected for clustering.
+
+    Attributes
+    ----------
+    space:
+        The event space the grid lives in.
+    membership:
+        ``(m, n_subscribers)`` boolean matrix; row ``h`` is the feature
+        vector of hyper-cell ``h``.
+    probs:
+        ``(m,)`` publication probability ``p_p`` of each hyper-cell (the
+        sum of its member cells' probabilities).
+    cell_ids:
+        Flat grid-cell indices belonging to each hyper-cell.
+    hypercell_of_cell:
+        ``(space.n_cells,)`` int32 array mapping a flat grid cell to its
+        hyper-cell, or ``-1`` for cells that were dropped (empty
+        membership or below the popularity cut).
+    """
+
+    space: EventSpace
+    membership: np.ndarray
+    probs: np.ndarray
+    cell_ids: List[np.ndarray]
+    hypercell_of_cell: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.membership.ndim != 2:
+            raise ValueError("membership must be a 2-d matrix")
+        if len(self.probs) != len(self.membership):
+            raise ValueError("probs / membership length mismatch")
+        if len(self.cell_ids) != len(self.membership):
+            raise ValueError("cell_ids / membership length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.membership)
+
+    @property
+    def n_subscribers(self) -> int:
+        return self.membership.shape[1]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Number of interested subscribers per hyper-cell."""
+        return self.membership.sum(axis=1)
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Popularity rating ``r(a) = p_p(a) * |s(a)|`` per hyper-cell."""
+        return self.probs * self.sizes
+
+    def subscribers_of(self, hypercell: int) -> np.ndarray:
+        """Subscriber ids interested in a hyper-cell."""
+        return np.nonzero(self.membership[hypercell])[0]
+
+    def top_by_popularity(self, n: int) -> "CellSet":
+        """A new :class:`CellSet` keeping only the ``n`` most popular."""
+        if n >= len(self):
+            return self
+        order = np.argsort(-self.popularity, kind="stable")[:n]
+        return self._subset(order)
+
+    def _subset(self, order: np.ndarray) -> "CellSet":
+        mapping = np.full(self.space.n_cells, -1, dtype=np.int32)
+        cell_ids = []
+        for new_idx, old_idx in enumerate(order):
+            ids = self.cell_ids[old_idx]
+            cell_ids.append(ids)
+            mapping[ids] = new_idx
+        return CellSet(
+            space=self.space,
+            membership=self.membership[order],
+            probs=self.probs[order],
+            cell_ids=cell_ids,
+            hypercell_of_cell=mapping,
+        )
+
+
+def build_cell_set(
+    space: EventSpace,
+    subscriptions: SubscriptionSet,
+    cell_pmf: np.ndarray,
+    max_cells: Optional[int] = None,
+) -> CellSet:
+    """Run the preprocessing stage of the grid-based framework.
+
+    1. Build the membership matrix over the full grid.
+    2. Drop cells with no interested subscribers (nothing to deliver).
+    3. Merge cells with identical membership vectors into hyper-cells,
+       accumulating their publication probabilities.
+    4. Keep at most ``max_cells`` hyper-cells, the most popular by
+       ``r(a) = p_p(a)·|s(a)|``.
+    """
+    cell_pmf = np.asarray(cell_pmf, dtype=np.float64)
+    if cell_pmf.shape != (space.n_cells,):
+        raise ValueError(
+            f"cell_pmf must have one entry per grid cell "
+            f"({space.n_cells}), got {cell_pmf.shape}"
+        )
+    membership = build_membership_matrix(space, subscriptions)
+
+    nonempty = np.nonzero(membership.any(axis=1))[0]
+    if len(nonempty) == 0:
+        raise ValueError("no grid cell is covered by any subscription")
+
+    # merge identical membership rows into hyper-cells: pack each row to
+    # bytes and group equal rows with np.unique
+    packed = np.packbits(membership[nonempty], axis=1)
+    _, first_idx, inverse = np.unique(
+        packed, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    n_hyper = len(first_idx)
+
+    probs = np.zeros(n_hyper, dtype=np.float64)
+    np.add.at(probs, inverse, cell_pmf[nonempty])
+
+    cell_ids: List[np.ndarray] = [None] * n_hyper  # type: ignore[list-item]
+    order = np.argsort(inverse, kind="stable")
+    sorted_inverse = inverse[order]
+    sorted_cells = nonempty[order]
+    boundaries = np.flatnonzero(np.diff(sorted_inverse)) + 1
+    for h, ids in enumerate(np.split(sorted_cells, boundaries)):
+        cell_ids[h] = ids
+
+    hyper_membership = membership[nonempty[first_idx]]
+    mapping = np.full(space.n_cells, -1, dtype=np.int32)
+    for h, ids in enumerate(cell_ids):
+        mapping[ids] = h
+
+    cells = CellSet(
+        space=space,
+        membership=hyper_membership,
+        probs=probs,
+        cell_ids=cell_ids,
+        hypercell_of_cell=mapping,
+    )
+    if max_cells is not None:
+        cells = cells.top_by_popularity(max_cells)
+    return cells

@@ -1,0 +1,19 @@
+"""Real-time event matching (section 4.6): R-tree stabbing index, the
+grid-based matcher (Figure 5), the no-loss matcher (Figure 6) and the
+brute-force oracle."""
+
+from .directory import DirectoryMatcher
+from .matchers import BruteForceMatcher, GridMatcher, NoLossMatcher
+from .plan import DeliveryPlan
+from .rtree import RTree
+from .stree import STree
+
+__all__ = [
+    "BruteForceMatcher",
+    "DirectoryMatcher",
+    "GridMatcher",
+    "NoLossMatcher",
+    "DeliveryPlan",
+    "RTree",
+    "STree",
+]

@@ -1,0 +1,133 @@
+"""Event-to-group matching algorithms (section 4.6).
+
+Three matchers share the interface ``match(point) -> DeliveryPlan``:
+
+* :class:`BruteForceMatcher` — no multicast groups at all; every event is
+  unicast to the interested subscribers.  Doubles as the ground-truth
+  oracle for the others.
+* :class:`GridMatcher` — Figure 5: locate the grid cell of the event; if
+  the cell carries a multicast group and the proportion of its members
+  that are interested exceeds a threshold, multicast to the group (plus
+  unicast to interested non-members); otherwise unicast only.
+* :class:`NoLossMatcher` — Figure 6: among the no-loss regions containing
+  the event, multicast to the group of the heaviest one and unicast to
+  the remaining interested subscribers.  All group members are interested
+  by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..clustering import Clustering, NoLossResult
+from ..workload import SubscriptionSet
+from .plan import DeliveryPlan
+from .rtree import RTree
+
+__all__ = ["BruteForceMatcher", "GridMatcher", "NoLossMatcher"]
+
+
+class BruteForceMatcher:
+    """Unicast-only matching; also the correctness oracle."""
+
+    def __init__(self, subscriptions: SubscriptionSet) -> None:
+        self.subscriptions = subscriptions
+
+    def match(self, point: Sequence[float]) -> DeliveryPlan:
+        interested = self.subscriptions.interested_subscribers(point)
+        return DeliveryPlan(
+            interested=interested, unicast_subscribers=interested
+        )
+
+
+class GridMatcher:
+    """Matching for the grid-based clustering algorithms (Figure 5)."""
+
+    def __init__(
+        self,
+        clustering: Clustering,
+        subscriptions: SubscriptionSet,
+        threshold: float = 0.0,
+    ) -> None:
+        """``threshold`` is the minimum proportion of group members that
+        must be interested for the multicast to be used; the Figure 5
+        "send only to interested subscribers" fallback fires below it.
+        With the default 0.0 the group is used whenever at least one
+        member is interested (the proportion must be *above* the
+        threshold)."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be a proportion")
+        self.clustering = clustering
+        self.subscriptions = subscriptions
+        self.threshold = threshold
+        self._space = subscriptions.space
+
+    def match(self, point: Sequence[float]) -> DeliveryPlan:
+        interested = self.subscriptions.interested_subscribers(point)
+        cell = self._space.locate(point)
+        group = self.clustering.group_of_grid_cell(cell) if cell >= 0 else -1
+        if group < 0:
+            return DeliveryPlan(
+                interested=interested, unicast_subscribers=interested
+            )
+        members = self.clustering.subscribers_of_group(group)
+        interested_members = np.intersect1d(
+            interested, members, assume_unique=True
+        )
+        proportion = (
+            len(interested_members) / len(members) if len(members) else 0.0
+        )
+        if len(interested_members) == 0 or proportion <= self.threshold:
+            return DeliveryPlan(
+                interested=interested, unicast_subscribers=interested
+            )
+        uncovered = np.setdiff1d(interested, members, assume_unique=True)
+        return DeliveryPlan(
+            interested=interested,
+            group_ids=[group],
+            group_members=[members],
+            unicast_subscribers=uncovered,
+        )
+
+
+class NoLossMatcher:
+    """Matching for the No-Loss algorithm (Figure 6)."""
+
+    def __init__(
+        self,
+        result: NoLossResult,
+        subscriptions: SubscriptionSet,
+        use_rtree: bool = True,
+    ) -> None:
+        self.result = result
+        self.subscriptions = subscriptions
+        self._rtree: Optional[RTree] = None
+        if use_rtree and len(result) > 0:
+            self._rtree = RTree.from_bounds(result.los, result.his)
+
+    def match(self, point: Sequence[float]) -> DeliveryPlan:
+        interested = self.subscriptions.interested_subscribers(point)
+        region = self._locate(point)
+        if region < 0:
+            return DeliveryPlan(
+                interested=interested, unicast_subscribers=interested
+            )
+        group = int(self.result.group_of[region])
+        members = self.result.group_members[group]
+        uncovered = np.setdiff1d(interested, members)
+        return DeliveryPlan(
+            interested=interested,
+            group_ids=[group],
+            group_members=[members],
+            unicast_subscribers=uncovered,
+        )
+
+    def _locate(self, point: Sequence[float]) -> int:
+        """Heaviest group region containing the point (regions are stored
+        in decreasing weight order, so the smallest stabbed index wins)."""
+        if self._rtree is not None:
+            hits = self._rtree.stab(point)
+            return int(hits[0]) if len(hits) else -1
+        return self.result.match(point)

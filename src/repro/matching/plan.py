@@ -1,0 +1,76 @@
+"""Delivery plans produced by the matchers.
+
+A plan says how one published event is to be distributed: via zero or more
+precomputed multicast groups, plus unicast to any interested subscribers
+the groups do not cover.  The delivery layer turns plans into network
+costs under either multicast framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["DeliveryPlan"]
+
+
+@dataclass
+class DeliveryPlan:
+    """How to deliver one event.
+
+    Attributes
+    ----------
+    interested:
+        Ground truth: subscriber ids interested in the event.
+    group_ids:
+        Identifiers of the multicast groups the message is sent to
+        (indices into the clustering result; informational).
+    group_members:
+        Subscriber composition of each used multicast group.
+    unicast_subscribers:
+        Interested subscribers not covered by any used group, to be
+        reached by unicast.
+    """
+
+    interested: np.ndarray
+    group_ids: List[int] = field(default_factory=list)
+    group_members: List[np.ndarray] = field(default_factory=list)
+    unicast_subscribers: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.group_ids) != len(self.group_members):
+            raise ValueError("group_ids / group_members length mismatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def uses_multicast(self) -> bool:
+        return bool(self.group_ids)
+
+    def covered_subscribers(self) -> np.ndarray:
+        """All subscribers that receive the message (sorted, unique)."""
+        parts = [np.asarray(m, dtype=np.int64) for m in self.group_members]
+        parts.append(np.asarray(self.unicast_subscribers, dtype=np.int64))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def wasted_deliveries(self) -> int:
+        """Subscribers who receive the message without being interested."""
+        covered = self.covered_subscribers()
+        return int(len(np.setdiff1d(covered, self.interested)))
+
+    def missed_subscribers(self) -> np.ndarray:
+        """Interested subscribers the plan fails to reach (should be none)."""
+        return np.setdiff1d(np.asarray(self.interested), self.covered_subscribers())
+
+    def validate_complete(self) -> None:
+        """Raise if any interested subscriber is left unreached."""
+        missed = self.missed_subscribers()
+        if len(missed):
+            raise AssertionError(
+                f"delivery plan misses interested subscribers: {missed[:10]}"
+            )

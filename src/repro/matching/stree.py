@@ -1,0 +1,191 @@
+"""An S-tree-style unbalanced stabbing index.
+
+Section 4.6 offers two index choices for the rectangle-stabbing problem:
+the R*-tree [5] and "the S-tree algorithm described in [1]" (Aggarwal,
+Wolf, Yu, Epelman: unbalanced trees for indexing multidimensional
+objects).  :mod:`repro.matching.rtree` covers the first; this module
+provides the second flavour: an *unbalanced interval-partition tree*.
+
+Each internal node picks a dimension and a split value; rectangles lying
+entirely below the split go to the left subtree, entirely above to the
+right, and rectangles *spanning* the split stay at the node.  A stabbing
+query visits one root-to-leaf path and scans only the spanning lists
+along it.  Wildcard-heavy workloads (many spanning rectangles) keep the
+tree shallow and the node lists long — the unbalanced shape the S-tree
+exploits — while selective workloads descend quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry import Rectangle
+
+__all__ = ["STree"]
+
+_CLAMP = 1e18
+
+
+@dataclass
+class _Node:
+    axis: int
+    split: float
+    spanning: np.ndarray  # indices of rectangles crossing the split
+    left: Optional["_Node"]
+    right: Optional["_Node"]
+    leaf_indices: Optional[np.ndarray] = None  # set for leaves only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.leaf_indices is not None
+
+
+class STree:
+    """Static unbalanced partition tree over a fixed set of rectangles.
+
+    Same interface as :class:`~repro.matching.RTree`: ``stab(point)``
+    returns the sorted indices of all rectangles containing the point,
+    under the half-open convention ``lo < x <= hi``.
+    """
+
+    def __init__(
+        self,
+        rectangles: Sequence[Rectangle],
+        leaf_capacity: int = 16,
+        max_depth: int = 32,
+    ) -> None:
+        if not rectangles:
+            raise ValueError("STree requires at least one rectangle")
+        if leaf_capacity < 1:
+            raise ValueError("leaf_capacity must be positive")
+        dims = rectangles[0].dimensions
+        n = len(rectangles)
+        self._los = np.empty((n, dims), dtype=np.float64)
+        self._his = np.empty((n, dims), dtype=np.float64)
+        for i, rect in enumerate(rectangles):
+            if rect.dimensions != dims:
+                raise ValueError("all rectangles must share dimensionality")
+            for d, side in enumerate(rect.sides):
+                self._los[i, d] = side.lo
+                self._his[i, d] = side.hi
+        self._n_dims = dims
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        self._root = self._build(np.arange(n, dtype=np.int64), 0)
+
+    @classmethod
+    def from_bounds(
+        cls, los: np.ndarray, his: np.ndarray, leaf_capacity: int = 16
+    ) -> "STree":
+        rectangles = [
+            Rectangle.from_bounds(lo, hi) for lo, hi in zip(los, his)
+        ]
+        return cls(rectangles, leaf_capacity=leaf_capacity)
+
+    # ------------------------------------------------------------------
+    def _build(self, indices: np.ndarray, depth: int) -> _Node:
+        if len(indices) <= self.leaf_capacity or depth >= self.max_depth:
+            return _Node(
+                axis=-1,
+                split=0.0,
+                spanning=np.empty(0, dtype=np.int64),
+                left=None,
+                right=None,
+                leaf_indices=indices,
+            )
+        axis, split = self._choose_split(indices)
+        his = self._his[indices, axis]
+        los = self._los[indices, axis]
+        go_left = his <= split
+        go_right = los >= split
+        spans = ~(go_left | go_right)
+        left_idx = indices[go_left]
+        right_idx = indices[go_right]
+        # a degenerate split (everything spans or lands on one side)
+        # cannot make progress: finish as a leaf
+        if len(left_idx) == len(indices) or len(right_idx) == len(indices) or (
+            len(left_idx) == 0 and len(right_idx) == 0
+        ):
+            return _Node(
+                axis=-1,
+                split=0.0,
+                spanning=np.empty(0, dtype=np.int64),
+                left=None,
+                right=None,
+                leaf_indices=indices,
+            )
+        return _Node(
+            axis=axis,
+            split=split,
+            spanning=indices[spans],
+            left=self._build(left_idx, depth + 1) if len(left_idx) else None,
+            right=self._build(right_idx, depth + 1) if len(right_idx) else None,
+        )
+
+    def _choose_split(self, indices: np.ndarray) -> tuple:
+        """Median-of-midpoints split on the dimension of largest spread."""
+        los = np.clip(self._los[indices], -_CLAMP, _CLAMP)
+        his = np.clip(self._his[indices], -_CLAMP, _CLAMP)
+        mids = 0.5 * (los + his)
+        spread = np.ptp(mids, axis=0)
+        axis = int(np.argmax(spread))
+        split = float(np.median(mids[:, axis]))
+        return axis, split
+
+    # ------------------------------------------------------------------
+    def stab(self, point: Sequence[float]) -> np.ndarray:
+        """Indices of all rectangles containing ``point`` (sorted)."""
+        x = np.asarray(point, dtype=np.float64)
+        if x.shape != (self._n_dims,):
+            raise ValueError("point dimensionality mismatch")
+        hits: List[int] = []
+        node = self._root
+        while node is not None:
+            if node.is_leaf:
+                self._scan(node.leaf_indices, x, hits)
+                break
+            self._scan(node.spanning, x, hits)
+            node = node.left if x[node.axis] <= node.split else node.right
+        hits.sort()
+        return np.asarray(hits, dtype=np.int64)
+
+    def _scan(
+        self, indices: Optional[np.ndarray], x: np.ndarray, hits: List[int]
+    ) -> None:
+        if indices is None or len(indices) == 0:
+            return
+        mask = np.all(
+            (self._los[indices] < x) & (x <= self._his[indices]), axis=1
+        )
+        hits.extend(int(i) for i in indices[mask])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._los)
+
+    def height(self) -> int:
+        """Longest root-to-leaf path (a single leaf has height 1)."""
+
+        def depth(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self._root)
+
+    def node_count(self) -> int:
+        """Number of tree nodes (for the unbalanced-shape tests)."""
+
+        def count(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + count(node.left) + count(node.right)
+
+        return count(self._root)

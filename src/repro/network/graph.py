@@ -1,0 +1,307 @@
+"""A weighted undirected graph with the algorithms the paper relies on.
+
+The paper models the network as an undirected graph ``G = (V, E)`` with a
+communication cost ``c_e >= 0`` on each edge (section 2).  We implement the
+graph substrate from scratch: adjacency storage, Dijkstra single-source
+shortest paths (used for dense-mode multicast routing trees), Prim's
+minimum spanning tree (used for application-level multicast overlays) and
+Kruskal-style union-find (used both here and by the MST clustering
+algorithm).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Graph", "UnionFind", "ShortestPaths"]
+
+
+class UnionFind:
+    """Disjoint-set forest with union by rank and path compression."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("size must be non-negative")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._components = n
+
+    @property
+    def components(self) -> int:
+        """Number of disjoint components."""
+        return self._components
+
+    def find(self, x: int) -> int:
+        """Representative of the component containing ``x``."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; True if they differed."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> Dict[int, List[int]]:
+        """Map from component representative to sorted member list."""
+        result: Dict[int, List[int]] = {}
+        for x in range(len(self._parent)):
+            result.setdefault(self.find(x), []).append(x)
+        return result
+
+
+@dataclass
+class ShortestPaths:
+    """Result of a single-source shortest path computation.
+
+    ``dist[v]`` is the distance from the source; ``pred[v]`` is the
+    predecessor of ``v`` on a shortest path (``-1`` for the source and for
+    unreachable nodes).  The predecessor array encodes the dense-mode
+    multicast routing tree rooted at the source.
+    """
+
+    source: int
+    dist: List[float]
+    pred: List[int]
+
+    def path_to(self, target: int) -> List[int]:
+        """Node sequence from the source to ``target`` (inclusive)."""
+        if math.isinf(self.dist[target]):
+            raise ValueError(f"node {target} unreachable from {self.source}")
+        path = [target]
+        while path[-1] != self.source:
+            path.append(self.pred[path[-1]])
+        path.reverse()
+        return path
+
+    def reachable(self, target: int) -> bool:
+        return not math.isinf(self.dist[target])
+
+    def tree_cost(self, targets: Optional[Iterable[int]] = None) -> float:
+        """Cost of the union of shortest paths from the source.
+
+        With ``targets=None`` this is the full shortest-path-tree cost (the
+        paper's broadcast cost for this publisher).  With an explicit
+        target set it is the dense-mode multicast cost of delivering to
+        exactly those nodes: the sum of edge costs over the union of the
+        root-to-target paths.
+        """
+        if targets is None:
+            targets = [v for v in range(len(self.dist)) if self.reachable(v)]
+        visited = {self.source}
+        total = 0.0
+        for target in targets:
+            if math.isinf(self.dist[target]):
+                raise ValueError(
+                    f"node {target} unreachable from {self.source}"
+                )
+            node = target
+            while node not in visited:
+                parent = self.pred[node]
+                total += self.dist[node] - self.dist[parent]
+                visited.add(node)
+                node = parent
+        return total
+
+
+class Graph:
+    """Weighted undirected multigraph-free graph over nodes ``0..n-1``."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("graph must have at least one node")
+        self._n = n_nodes
+        self._adj: List[Dict[int, float]] = [dict() for _ in range(n_nodes)]
+        self._n_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, cost: float) -> None:
+        """Add (or tighten) the undirected edge ``{u, v}``.
+
+        Parallel edge insertions keep the cheaper cost, which matches how
+        transit-stub generators resolve duplicate links.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if cost < 0:
+            raise ValueError("edge costs must be non-negative")
+        existing = self._adj[u].get(v)
+        if existing is None:
+            self._n_edges += 1
+            self._adj[u][v] = cost
+            self._adj[v][u] = cost
+        elif cost < existing:
+            self._adj[u][v] = cost
+            self._adj[v][u] = cost
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adj[u]
+
+    def edge_cost(self, u: int, v: int) -> float:
+        self._check_node(u)
+        self._check_node(v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise KeyError(f"no edge between {u} and {v}") from None
+
+    def neighbors(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(neighbor, cost)`` pairs of node ``u``."""
+        self._check_node(u)
+        return iter(self._adj[u].items())
+
+    def degree(self, u: int) -> int:
+        self._check_node(u)
+        return len(self._adj[u])
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate each undirected edge once as ``(u, v, cost)`` with u < v."""
+        for u in range(self._n):
+            for v, cost in self._adj[u].items():
+                if u < v:
+                    yield u, v, cost
+
+    def total_edge_cost(self) -> float:
+        return sum(cost for _, _, cost in self.edges())
+
+    # ------------------------------------------------------------------
+    # algorithms
+    # ------------------------------------------------------------------
+    def shortest_paths(self, source: int) -> ShortestPaths:
+        """Dijkstra single-source shortest paths from ``source``."""
+        self._check_node(source)
+        dist = [math.inf] * self._n
+        pred = [-1] * self._n
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, cost in self._adj[u].items():
+                nd = d + cost
+                if nd < dist[v]:
+                    dist[v] = nd
+                    pred[v] = u
+                    heapq.heappush(heap, (nd, v))
+        return ShortestPaths(source=source, dist=dist, pred=pred)
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from node 0."""
+        seen = [False] * self._n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self._n
+
+    def minimum_spanning_tree_cost(self) -> float:
+        """Cost of an MST of a connected graph (Prim's algorithm)."""
+        tree_edges = self.minimum_spanning_tree()
+        return sum(cost for _, _, cost in tree_edges)
+
+    def minimum_spanning_tree(self) -> List[Tuple[int, int, float]]:
+        """Edges of an MST (Prim's algorithm).  Requires connectivity."""
+        in_tree = [False] * self._n
+        best: List[Tuple[float, int, int]] = [(0.0, 0, -1)]
+        edges: List[Tuple[int, int, float]] = []
+        added = 0
+        while best and added < self._n:
+            cost, u, parent = heapq.heappop(best)
+            if in_tree[u]:
+                continue
+            in_tree[u] = True
+            added += 1
+            if parent >= 0:
+                edges.append((parent, u, cost))
+            for v, c in self._adj[u].items():
+                if not in_tree[v]:
+                    heapq.heappush(best, (c, v, u))
+        if added != self._n:
+            raise ValueError("graph is not connected; no spanning tree exists")
+        return edges
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range [0, {self._n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n_nodes={self._n}, n_edges={self._n_edges})"
+
+
+def metric_closure_mst_cost(
+    distances: Sequence[Sequence[float]], members: Sequence[int]
+) -> float:
+    """MST cost among ``members`` in the metric closure of the network.
+
+    ``distances`` is a matrix where ``distances[u][v]`` is the shortest-path
+    distance between network nodes.  Application-level multicast (section
+    5.1) connects group members by unicast paths forming a minimum spanning
+    tree in this metric; the delivery cost is the tree's total weight.
+    """
+    nodes = list(dict.fromkeys(members))
+    if len(nodes) <= 1:
+        return 0.0
+    in_tree = [False] * len(nodes)
+    best = [math.inf] * len(nodes)
+    best[0] = 0.0
+    total = 0.0
+    for _ in range(len(nodes)):
+        u = min(
+            (i for i in range(len(nodes)) if not in_tree[i]),
+            key=lambda i: best[i],
+        )
+        if math.isinf(best[u]):
+            raise ValueError("members are not mutually reachable")
+        in_tree[u] = True
+        total += best[u]
+        du = distances[nodes[u]]
+        for v in range(len(nodes)):
+            if not in_tree[v]:
+                d = du[nodes[v]]
+                if d < best[v]:
+                    best[v] = d
+    return total

@@ -1,0 +1,286 @@
+"""Transit-stub network topologies in the style of the GT-ITM package.
+
+The paper (sections 3 and 5.1) generates its networks with GT-ITM [20]
+using a transit-stub model: a small top level of *transit blocks* (domains)
+whose *transit nodes* form the backbone, with *stubs* — access networks of
+ordinary nodes — hanging off the transit nodes.  We reimplement that model
+here.  The generator reproduces the three configurations used in the
+preliminary analysis:
+
+====== ============= ================= ================
+nodes  transit nodes stubs per transit nodes in a stub
+====== ============= ================= ================
+100    4             3                 8
+300    5             3                 20
+600    4             3                 50
+====== ============= ================= ================
+
+and the section 5.1 configuration: three transit blocks, on average five
+transit nodes per block, two stubs per transit node and twenty nodes per
+stub (~600 nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["TransitStubParams", "Topology", "TransitStubGenerator"]
+
+
+@dataclass(frozen=True)
+class TransitStubParams:
+    """Parameters of the transit-stub model.
+
+    ``transit_nodes_per_block`` / ``stubs_per_transit`` / ``nodes_per_stub``
+    are *average* counts; each instance is perturbed by ±``jitter`` (rounded,
+    floored at 1) like GT-ITM's randomised sizes.  Edge costs are drawn
+    uniformly from the per-layer ranges; GT-ITM similarly assigns larger
+    routing weights to backbone links than to access links.
+    """
+
+    n_transit_blocks: int = 3
+    transit_nodes_per_block: int = 5
+    stubs_per_transit: int = 2
+    nodes_per_stub: int = 20
+    jitter: int = 0
+    intra_stub_cost: Tuple[float, float] = (1.0, 4.0)
+    stub_transit_cost: Tuple[float, float] = (8.0, 16.0)
+    intra_transit_cost: Tuple[float, float] = (10.0, 20.0)
+    inter_transit_cost: Tuple[float, float] = (20.0, 40.0)
+    extra_edge_prob: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.n_transit_blocks < 1:
+            raise ValueError("need at least one transit block")
+        if self.transit_nodes_per_block < 1:
+            raise ValueError("need at least one transit node per block")
+        if self.stubs_per_transit < 0:
+            raise ValueError("stubs per transit node must be non-negative")
+        if self.nodes_per_stub < 1:
+            raise ValueError("stubs must contain at least one node")
+        if not 0.0 <= self.extra_edge_prob <= 1.0:
+            raise ValueError("extra_edge_prob must be a probability")
+
+    @staticmethod
+    def preliminary(n_nodes: int) -> "TransitStubParams":
+        """The three configurations from the section 3 table."""
+        table = {
+            100: TransitStubParams(
+                n_transit_blocks=1,
+                transit_nodes_per_block=4,
+                stubs_per_transit=3,
+                nodes_per_stub=8,
+            ),
+            300: TransitStubParams(
+                n_transit_blocks=1,
+                transit_nodes_per_block=5,
+                stubs_per_transit=3,
+                nodes_per_stub=20,
+            ),
+            600: TransitStubParams(
+                n_transit_blocks=1,
+                transit_nodes_per_block=4,
+                stubs_per_transit=3,
+                nodes_per_stub=50,
+            ),
+        }
+        try:
+            return table[n_nodes]
+        except KeyError:
+            raise ValueError(
+                f"no preliminary configuration for {n_nodes} nodes; "
+                f"known sizes: {sorted(table)}"
+            ) from None
+
+    @staticmethod
+    def evaluation() -> "TransitStubParams":
+        """The section 5.1 configuration (three blocks, ~600 nodes)."""
+        return TransitStubParams(
+            n_transit_blocks=3,
+            transit_nodes_per_block=5,
+            stubs_per_transit=2,
+            nodes_per_stub=20,
+        )
+
+
+@dataclass
+class Topology:
+    """A generated transit-stub network.
+
+    Besides the weighted graph itself, the topology records the role of
+    every node: the transit block it belongs to, and — for stub nodes — the
+    identifier of its stub.  The workload generators use this structure for
+    the regional attribute (section 3) and for the Zipf placement of
+    subscriptions across blocks and stubs (section 5.1).
+    """
+
+    graph: Graph
+    transit_block: List[int]
+    stub_of: List[int]
+    stubs: List[List[int]]
+    stub_block: List[int]
+    transit_nodes: List[int]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.n_nodes
+
+    @property
+    def n_stubs(self) -> int:
+        return len(self.stubs)
+
+    @property
+    def n_transit_blocks(self) -> int:
+        return max(self.transit_block) + 1 if self.transit_block else 0
+
+    def stub_nodes(self) -> List[int]:
+        """All non-transit nodes."""
+        return [v for v in range(self.n_nodes) if self.stub_of[v] >= 0]
+
+    def stubs_in_block(self, block: int) -> List[int]:
+        """Stub identifiers belonging to a transit block."""
+        return [s for s, b in enumerate(self.stub_block) if b == block]
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises on violation."""
+        if len(self.transit_block) != self.n_nodes:
+            raise AssertionError("transit_block size mismatch")
+        if len(self.stub_of) != self.n_nodes:
+            raise AssertionError("stub_of size mismatch")
+        for stub_id, members in enumerate(self.stubs):
+            for v in members:
+                if self.stub_of[v] != stub_id:
+                    raise AssertionError(f"node {v} not mapped to stub {stub_id}")
+        for v in self.transit_nodes:
+            if self.stub_of[v] != -1:
+                raise AssertionError(f"transit node {v} has a stub id")
+        if not self.graph.is_connected():
+            raise AssertionError("topology is not connected")
+
+
+class TransitStubGenerator:
+    """Randomised transit-stub topology builder."""
+
+    def __init__(self, params: TransitStubParams, rng: np.random.Generator) -> None:
+        self.params = params
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Topology:
+        """Generate a connected transit-stub topology."""
+        params = self.params
+        rng = self.rng
+
+        transit_block: List[int] = []
+        stub_of: List[int] = []
+        stubs: List[List[int]] = []
+        stub_block: List[int] = []
+        transit_nodes: List[int] = []
+        edges: List[Tuple[int, int, float]] = []
+        blocks: List[List[int]] = []
+
+        next_node = 0
+
+        # 1. transit blocks and their nodes
+        for block in range(params.n_transit_blocks):
+            size = self._perturb(params.transit_nodes_per_block)
+            members = list(range(next_node, next_node + size))
+            next_node += size
+            blocks.append(members)
+            transit_nodes.extend(members)
+            transit_block.extend([block] * size)
+            stub_of.extend([-1] * size)
+            edges.extend(
+                self._connected_subgraph(members, params.intra_transit_cost)
+            )
+
+        # 2. backbone between blocks: a random tree over blocks plus the
+        #    occasional extra inter-block link
+        for i in range(1, params.n_transit_blocks):
+            j = int(rng.integers(0, i))
+            edges.append(self._inter_block_edge(blocks[i], blocks[j]))
+        for i in range(params.n_transit_blocks):
+            for j in range(i + 1, params.n_transit_blocks):
+                if rng.random() < params.extra_edge_prob:
+                    edges.append(self._inter_block_edge(blocks[i], blocks[j]))
+
+        # 3. stubs hanging off transit nodes
+        for block, members in enumerate(blocks):
+            for transit in members:
+                n_stubs = self._perturb(params.stubs_per_transit)
+                for _ in range(n_stubs):
+                    size = self._perturb(params.nodes_per_stub)
+                    stub_members = list(range(next_node, next_node + size))
+                    next_node += size
+                    stub_id = len(stubs)
+                    stubs.append(stub_members)
+                    stub_block.append(block)
+                    transit_block.extend([block] * size)
+                    stub_of.extend([stub_id] * size)
+                    edges.extend(
+                        self._connected_subgraph(
+                            stub_members, params.intra_stub_cost
+                        )
+                    )
+                    gateway = stub_members[int(rng.integers(0, size))]
+                    edges.append(
+                        (transit, gateway, self._cost(params.stub_transit_cost))
+                    )
+
+        graph = Graph(next_node)
+        for u, v, cost in edges:
+            if u != v:
+                graph.add_edge(u, v, cost)
+
+        topology = Topology(
+            graph=graph,
+            transit_block=transit_block,
+            stub_of=stub_of,
+            stubs=stubs,
+            stub_block=stub_block,
+            transit_nodes=transit_nodes,
+        )
+        topology.validate()
+        return topology
+
+    # ------------------------------------------------------------------
+    def _perturb(self, mean: int) -> int:
+        """Randomise a size parameter by ±jitter, floored at 1."""
+        if self.params.jitter == 0:
+            return max(1, mean)
+        delta = int(self.rng.integers(-self.params.jitter, self.params.jitter + 1))
+        return max(1, mean + delta)
+
+    def _cost(self, cost_range: Tuple[float, float]) -> float:
+        lo, hi = cost_range
+        return float(self.rng.uniform(lo, hi))
+
+    def _connected_subgraph(
+        self, members: Sequence[int], cost_range: Tuple[float, float]
+    ) -> List[Tuple[int, int, float]]:
+        """Random connected subgraph: random tree + extra chords."""
+        edges: List[Tuple[int, int, float]] = []
+        for i in range(1, len(members)):
+            j = int(self.rng.integers(0, i))
+            edges.append((members[i], members[j], self._cost(cost_range)))
+        n = len(members)
+        if n > 2 and self.params.extra_edge_prob > 0:
+            n_extra = int(self.rng.binomial(n, self.params.extra_edge_prob))
+            for _ in range(n_extra):
+                i, j = self.rng.choice(n, size=2, replace=False)
+                edges.append(
+                    (members[int(i)], members[int(j)], self._cost(cost_range))
+                )
+        return edges
+
+    def _inter_block_edge(
+        self, block_a: Sequence[int], block_b: Sequence[int]
+    ) -> Tuple[int, int, float]:
+        u = block_a[int(self.rng.integers(0, len(block_a)))]
+        v = block_b[int(self.rng.integers(0, len(block_b)))]
+        return (u, v, self._cost(self.params.inter_transit_cost))

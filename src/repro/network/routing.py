@@ -1,0 +1,72 @@
+"""Routing state precomputed over a topology.
+
+The cost evaluations of section 5 repeatedly need, for every publisher
+node, the shortest-path tree rooted there (dense-mode multicast routing)
+and, for application-level multicast, pairwise shortest-path distances
+between group members.  :class:`RoutingTables` computes both lazily and
+memoises them, so a simulation touching only a handful of publisher nodes
+never pays for all-pairs Dijkstra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .graph import Graph, ShortestPaths
+
+__all__ = ["RoutingTables"]
+
+
+class RoutingTables:
+    """Memoised shortest-path state for a fixed graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._sp: Dict[int, ShortestPaths] = {}
+        self._dist_matrix: Optional[np.ndarray] = None
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    # ------------------------------------------------------------------
+    def shortest_paths(self, source: int) -> ShortestPaths:
+        """Shortest paths from ``source``, computed once and cached."""
+        table = self._sp.get(source)
+        if table is None:
+            table = self._graph.shortest_paths(source)
+            self._sp[source] = table
+        return table
+
+    def distance(self, u: int, v: int) -> float:
+        """Shortest-path distance between two nodes."""
+        if self._dist_matrix is not None:
+            return float(self._dist_matrix[u, v])
+        return self.shortest_paths(u).dist[v]
+
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest path distances (computed once).
+
+        Needed by application-level multicast, whose overlay tree is a
+        minimum spanning tree in the metric closure of the network.
+        """
+        if self._dist_matrix is None:
+            n = self._graph.n_nodes
+            matrix = np.empty((n, n), dtype=np.float64)
+            for source in range(n):
+                matrix[source, :] = self.shortest_paths(source).dist
+            self._dist_matrix = matrix
+        return self._dist_matrix
+
+    # ------------------------------------------------------------------
+    def precompute(self, sources: Iterable[int]) -> None:
+        """Eagerly build shortest-path trees for the given sources."""
+        for source in sources:
+            self.shortest_paths(source)
+
+    def cached_sources(self) -> List[int]:
+        """Sources whose shortest-path trees are already built."""
+        return sorted(self._sp)

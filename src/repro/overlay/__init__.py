@@ -1,0 +1,8 @@
+"""Distributed filtering overlay (the paper's discussion item 6): a
+broker spanning tree with per-link aggregated subscription filters,
+pruned flooding, and bounded per-router state."""
+
+from .filters import RectangleFilter
+from .tree import DisseminationResult, FilteredBrokerTree
+
+__all__ = ["RectangleFilter", "DisseminationResult", "FilteredBrokerTree"]

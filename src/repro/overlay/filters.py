@@ -1,0 +1,144 @@
+"""Aggregated interest filters for broker links.
+
+The paper's discussion (item 6) describes the alternative distribution
+architecture of the Gryphon papers [2, 14]: "each intermediate node knows
+about the preferences of its neighbors, and matches each event against
+its specific data structures to find those neighbors to which the event
+must be forwarded next".  That requires every broker link to carry a
+summary of the interest reachable through it.
+
+:class:`RectangleFilter` is that summary: a bounded list of aligned
+rectangles covering the union of the subscriptions behind a link.  When
+the list exceeds its capacity, the two rectangles whose hull wastes the
+least volume are merged — the filter stays *conservative* (it can only
+over-match, never miss an interested subscriber), trading precision for
+bounded per-router state, exactly the state-size concern the paper
+raises about this architecture.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Rectangle
+
+__all__ = ["RectangleFilter"]
+
+#: substitute for infinite side lengths when scoring hull growth
+_BIG = 1e9
+
+
+def _capped_volume(rectangle: Rectangle) -> float:
+    """Volume with unbounded sides counted as very large, not infinite,
+    so merge scoring can still order candidates."""
+    if rectangle.is_empty:
+        return 0.0
+    volume = 1.0
+    for side in rectangle.sides:
+        length = side.length
+        volume *= min(length, _BIG)
+    return volume
+
+
+class RectangleFilter:
+    """A conservative, size-bounded cover of a set of rectangles."""
+
+    def __init__(
+        self,
+        dimensions: int,
+        capacity: int = 64,
+    ) -> None:
+        if dimensions < 1:
+            raise ValueError("filter needs at least one dimension")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.dimensions = dimensions
+        self.capacity = capacity
+        self._rectangles: List[Rectangle] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def covering(
+        cls,
+        rectangles: Iterable[Rectangle],
+        dimensions: int,
+        capacity: int = 64,
+    ) -> "RectangleFilter":
+        """Build a filter covering all given rectangles."""
+        instance = cls(dimensions, capacity)
+        for rectangle in rectangles:
+            instance.add(rectangle)
+        return instance
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rectangles)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._rectangles
+
+    def rectangles(self) -> List[Rectangle]:
+        """The current cover (copy)."""
+        return list(self._rectangles)
+
+    # ------------------------------------------------------------------
+    def add(self, rectangle: Rectangle) -> None:
+        """Add a rectangle to the cover, compacting if over capacity."""
+        if rectangle.dimensions != self.dimensions:
+            raise ValueError("rectangle dimensionality mismatch")
+        if rectangle.is_empty:
+            return
+        # skip rectangles already covered by an existing entry
+        for existing in self._rectangles:
+            if existing.contains_rectangle(rectangle):
+                return
+        self._rectangles.append(rectangle)
+        while len(self._rectangles) > self.capacity:
+            self._merge_cheapest_pair()
+
+    def merge(self, other: "RectangleFilter") -> None:
+        """Absorb another filter's cover."""
+        for rectangle in other._rectangles:
+            self.add(rectangle)
+
+    def matches(self, point: Sequence[float]) -> bool:
+        """Conservative membership test: True when any cover rectangle
+        contains the point (may over-match after compaction)."""
+        return any(r.contains(point) for r in self._rectangles)
+
+    # ------------------------------------------------------------------
+    def _merge_cheapest_pair(self) -> None:
+        """Replace the pair whose hull adds the least volume by its hull."""
+        n = len(self._rectangles)
+        best = None
+        for i in range(n):
+            vi = _capped_volume(self._rectangles[i])
+            for j in range(i + 1, n):
+                hull = self._rectangles[i].hull(self._rectangles[j])
+                growth = _capped_volume(hull) - vi - _capped_volume(
+                    self._rectangles[j]
+                )
+                if best is None or growth < best[0]:
+                    best = (growth, i, j, hull)
+        if best is None:  # pragma: no cover - capacity >= 1 guarantees pairs
+            return
+        _, i, j, hull = best
+        # remove j first (j > i) to keep index i valid
+        del self._rectangles[j]
+        del self._rectangles[i]
+        # the hull may now swallow other entries; route through add()
+        survivors = [
+            r for r in self._rectangles if not hull.contains_rectangle(r)
+        ]
+        survivors.append(hull)
+        self._rectangles = survivors
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RectangleFilter(n={len(self._rectangles)}, "
+            f"capacity={self.capacity})"
+        )

@@ -1,0 +1,203 @@
+"""The broker tree: per-link filtered event dissemination.
+
+Implements the alternative distribution architecture of the paper's
+discussion item 6 (the Gryphon model [2, 14]): brokers form a spanning
+tree of the network; every *directed* tree link carries an aggregated
+filter summarising all subscriptions reachable through it; an event
+published anywhere floods outward along the tree but is pruned at every
+link whose filter rejects it.
+
+With unbounded (exact) filters the message traverses precisely the tree
+edges on paths from the publisher towards interested subscribers; with
+capacity-bounded filters extra links may be traversed (conservative
+over-matching) but no interested subscriber is ever missed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..network import RoutingTables, select_core
+from ..workload import SubscriptionSet
+from .filters import RectangleFilter
+
+__all__ = ["FilteredBrokerTree", "DisseminationResult"]
+
+
+@dataclass
+class DisseminationResult:
+    """Outcome of flooding one event through the broker tree."""
+
+    cost: float
+    visited_nodes: List[int]
+    delivered_subscribers: np.ndarray
+    links_traversed: int
+
+    def delivered_nodes(self, subscriptions: SubscriptionSet) -> np.ndarray:
+        return subscriptions.nodes_of_subscribers(self.delivered_subscribers)
+
+
+class FilteredBrokerTree:
+    """Spanning-tree broker overlay with per-link subscription filters."""
+
+    def __init__(
+        self,
+        routing: RoutingTables,
+        subscriptions: SubscriptionSet,
+        root: Optional[int] = None,
+        filter_capacity: int = 64,
+    ) -> None:
+        """``root`` anchors the spanning tree (defaults to the network's
+        1-median); ``filter_capacity`` bounds the number of rectangles
+        each directed link may carry (the per-router state budget)."""
+        self.routing = routing
+        self.subscriptions = subscriptions
+        self.filter_capacity = filter_capacity
+        self.root = select_core(routing) if root is None else root
+        n = routing.graph.n_nodes
+        if not 0 <= self.root < n:
+            raise ValueError(f"root {self.root} not in the network")
+
+        sp = routing.shortest_paths(self.root)
+        self._parent = list(sp.pred)
+        self._children: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            p = self._parent[v]
+            if p >= 0:
+                self._children[p].append(v)
+        self._edge_cost = [
+            0.0 if self._parent[v] < 0 else sp.dist[v] - sp.dist[self._parent[v]]
+            for v in range(n)
+        ]
+
+        self._local: List[List[int]] = [[] for _ in range(n)]
+        for index, sub in enumerate(subscriptions.subscriptions):
+            self._local[sub.node].append(index)
+
+        self._down_filters: List[RectangleFilter] = []
+        self._up_filters: List[RectangleFilter] = []
+        self._build_filters()
+
+    # ------------------------------------------------------------------
+    # filter construction
+    # ------------------------------------------------------------------
+    def _build_filters(self) -> None:
+        """Two passes: subtree (down-link) filters bottom-up, then
+        complement (up-link) filters top-down."""
+        n = self.routing.graph.n_nodes
+        dims = self.subscriptions.space.n_dims
+        rects = self.subscriptions.rectangles()
+
+        def local_filter(v: int) -> RectangleFilter:
+            return RectangleFilter.covering(
+                (rects[i] for i in self._local[v]), dims, self.filter_capacity
+            )
+
+        # bottom-up: down[v] covers all subscriptions in v's subtree
+        # (including v's own) — the filter of the link parent(v) -> v
+        order = self._topological_order()
+        down = [local_filter(v) for v in range(n)]
+        for v in reversed(order):
+            for child in self._children[v]:
+                down[v].merge(down[child])
+
+        # top-down: up[v] covers everything *outside* v's subtree — the
+        # filter of the link v -> parent(v)
+        up = [
+            RectangleFilter(dims, self.filter_capacity) for _ in range(n)
+        ]
+        for v in order:
+            parent = self._parent[v]
+            if parent < 0:
+                continue
+            f = RectangleFilter(dims, self.filter_capacity)
+            f.merge(up[parent])
+            f.merge(local_filter(parent))
+            for sibling in self._children[parent]:
+                if sibling != v:
+                    f.merge(down[sibling])
+            up[v] = f
+
+        self._down_filters = down
+        self._up_filters = up
+
+    def _topological_order(self) -> List[int]:
+        """Nodes in root-first BFS order."""
+        order = [self.root]
+        seen = 0
+        while seen < len(order):
+            node = order[seen]
+            seen += 1
+            order.extend(self._children[node])
+        return order
+
+    # ------------------------------------------------------------------
+    # dissemination
+    # ------------------------------------------------------------------
+    def disseminate(self, point: Sequence[float], publisher: int) -> DisseminationResult:
+        """Flood an event from ``publisher`` with per-link filtering.
+
+        Returns the traversed-edge cost, the brokers visited, and the
+        subscribers whose local match succeeded.
+        """
+        n = self.routing.graph.n_nodes
+        if not 0 <= publisher < n:
+            raise ValueError(f"publisher {publisher} not in the network")
+        visited: Set[int] = {publisher}
+        cost = 0.0
+        links = 0
+        stack = [publisher]
+        while stack:
+            node = stack.pop()
+            neighbors: List[Tuple[int, RectangleFilter, float]] = []
+            parent = self._parent[node]
+            if parent >= 0:
+                neighbors.append(
+                    (parent, self._up_filters[node], self._edge_cost[node])
+                )
+            for child in self._children[node]:
+                neighbors.append(
+                    (child, self._down_filters[child], self._edge_cost[child])
+                )
+            for neighbor, link_filter, edge_cost in neighbors:
+                if neighbor in visited:
+                    continue
+                if not link_filter.matches(point):
+                    continue
+                visited.add(neighbor)
+                cost += edge_cost
+                links += 1
+                stack.append(neighbor)
+
+        delivered = [
+            self.subscriptions.subscriptions[i].subscriber
+            for node in visited
+            for i in self._local[node]
+            if self.subscriptions.subscriptions[i].rectangle.contains(point)
+        ]
+        return DisseminationResult(
+            cost=cost,
+            visited_nodes=sorted(visited),
+            delivered_subscribers=np.unique(
+                np.asarray(delivered, dtype=np.int64)
+            ),
+            links_traversed=links,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def total_filter_state(self) -> int:
+        """Total rectangles stored across all directed links — the
+        router-state footprint the paper worries about."""
+        return sum(len(f) for f in self._down_filters) + sum(
+            len(f) for f in self._up_filters
+        )
+
+    def max_link_state(self) -> int:
+        """Largest single-link filter."""
+        sizes = [len(f) for f in self._down_filters + self._up_filters]
+        return max(sizes) if sizes else 0

@@ -1,0 +1,29 @@
+"""Save/load for the pipeline's expensive artefacts (.npz format):
+topologies, subscription sets, hyper-cell sets, clusterings and
+No-Loss region lists."""
+
+from .io import (
+    load_cell_set,
+    load_clustering,
+    load_noloss_result,
+    load_subscriptions,
+    load_topology,
+    save_cell_set,
+    save_clustering,
+    save_noloss_result,
+    save_subscriptions,
+    save_topology,
+)
+
+__all__ = [
+    "load_cell_set",
+    "load_clustering",
+    "load_noloss_result",
+    "load_subscriptions",
+    "load_topology",
+    "save_cell_set",
+    "save_clustering",
+    "save_noloss_result",
+    "save_subscriptions",
+    "save_topology",
+]

@@ -1,0 +1,300 @@
+"""Persistence for the expensive artefacts of the pipeline.
+
+Topologies, subscription sets, hyper-cell sets and clusterings all take
+non-trivial time to build at paper scale; a production deployment wants
+to compute them once and reload them across runs (and ship a clustering
+from the offline preprocessing stage to the online brokers).  Everything
+is stored in a single ``.npz`` file: numpy arrays for the bulk data plus
+one JSON-encoded metadata entry.  Ragged structures (stub membership,
+hyper-cell id lists, no-loss member sets) are stored flattened with
+offset arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..clustering import Clustering, NoLossResult
+from ..geometry import Dimension, EventSpace, Rectangle
+from ..grid import CellSet
+from ..network import Graph, Topology
+from ..workload import Subscription, SubscriptionSet
+
+__all__ = [
+    "save_topology",
+    "load_topology",
+    "save_subscriptions",
+    "load_subscriptions",
+    "save_cell_set",
+    "load_cell_set",
+    "save_clustering",
+    "load_clustering",
+    "save_noloss_result",
+    "load_noloss_result",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _pack_ragged(lists: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten a list of int arrays into (flat, offsets)."""
+    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+    for i, arr in enumerate(lists):
+        offsets[i + 1] = offsets[i] + len(arr)
+    if offsets[-1] == 0:
+        flat = np.empty(0, dtype=np.int64)
+    else:
+        flat = np.concatenate([np.asarray(a, dtype=np.int64) for a in lists])
+    return flat, offsets
+
+
+def _unpack_ragged(flat: np.ndarray, offsets: np.ndarray) -> List[np.ndarray]:
+    return [
+        flat[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)
+    ]
+
+
+def _space_meta(space: EventSpace) -> List[Dict]:
+    return [
+        {"name": d.name, "lo": d.lo, "hi": d.hi} for d in space.dimensions
+    ]
+
+
+def _space_from_meta(meta: List[Dict]) -> EventSpace:
+    return EventSpace(
+        [Dimension(d["name"], int(d["lo"]), int(d["hi"])) for d in meta]
+    )
+
+
+def _check_kind(meta: Dict, expected: str) -> None:
+    kind = meta.get("kind")
+    if kind != expected:
+        raise ValueError(
+            f"file holds a {kind!r} artefact, expected {expected!r}"
+        )
+    version = meta.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version}")
+
+
+def _save(path, meta: Dict, **arrays) -> None:
+    meta = dict(meta)
+    meta["version"] = _FORMAT_VERSION
+    np.savez_compressed(path, _meta=json.dumps(meta), **arrays)
+
+
+def _load(path) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["_meta"]))
+        arrays = {key: data[key] for key in data.files if key != "_meta"}
+    return meta, arrays
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+def save_topology(topology: Topology, path) -> None:
+    """Persist a transit-stub topology (graph + role annotations)."""
+    edges = np.array(
+        [(u, v, c) for u, v, c in topology.graph.edges()], dtype=np.float64
+    ).reshape(-1, 3)
+    stub_flat, stub_offsets = _pack_ragged(
+        [np.asarray(s, dtype=np.int64) for s in topology.stubs]
+    )
+    _save(
+        path,
+        {"kind": "topology", "n_nodes": topology.n_nodes},
+        edges=edges,
+        transit_block=np.asarray(topology.transit_block, dtype=np.int64),
+        stub_of=np.asarray(topology.stub_of, dtype=np.int64),
+        stub_flat=stub_flat,
+        stub_offsets=stub_offsets,
+        stub_block=np.asarray(topology.stub_block, dtype=np.int64),
+        transit_nodes=np.asarray(topology.transit_nodes, dtype=np.int64),
+    )
+
+
+def load_topology(path) -> Topology:
+    meta, arrays = _load(path)
+    _check_kind(meta, "topology")
+    graph = Graph(int(meta["n_nodes"]))
+    for u, v, cost in arrays["edges"]:
+        graph.add_edge(int(u), int(v), float(cost))
+    topology = Topology(
+        graph=graph,
+        transit_block=arrays["transit_block"].tolist(),
+        stub_of=arrays["stub_of"].tolist(),
+        stubs=[
+            s.tolist()
+            for s in _unpack_ragged(
+                arrays["stub_flat"], arrays["stub_offsets"]
+            )
+        ],
+        stub_block=arrays["stub_block"].tolist(),
+        transit_nodes=arrays["transit_nodes"].tolist(),
+    )
+    topology.validate()
+    return topology
+
+
+# ----------------------------------------------------------------------
+# subscriptions
+# ----------------------------------------------------------------------
+def save_subscriptions(subscriptions: SubscriptionSet, path) -> None:
+    """Persist a rectangle subscription set (with its event space)."""
+    los, his = subscriptions.bounds()
+    owners = np.array(
+        [s.subscriber for s in subscriptions.subscriptions], dtype=np.int64
+    )
+    nodes = np.array(
+        [s.node for s in subscriptions.subscriptions], dtype=np.int64
+    )
+    _save(
+        path,
+        {"kind": "subscriptions", "space": _space_meta(subscriptions.space)},
+        los=los,
+        his=his,
+        owners=owners,
+        nodes=nodes,
+    )
+
+
+def load_subscriptions(path) -> SubscriptionSet:
+    meta, arrays = _load(path)
+    _check_kind(meta, "subscriptions")
+    space = _space_from_meta(meta["space"])
+    subscriptions = [
+        Subscription(
+            int(owner),
+            int(node),
+            Rectangle.from_bounds(lo, hi),
+        )
+        for owner, node, lo, hi in zip(
+            arrays["owners"], arrays["nodes"], arrays["los"], arrays["his"]
+        )
+    ]
+    return SubscriptionSet(space, subscriptions)
+
+
+# ----------------------------------------------------------------------
+# cell sets
+# ----------------------------------------------------------------------
+def save_cell_set(cells: CellSet, path) -> None:
+    """Persist a hyper-cell set (membership bit-packed)."""
+    flat, offsets = _pack_ragged(cells.cell_ids)
+    _save(
+        path,
+        {
+            "kind": "cells",
+            "space": _space_meta(cells.space),
+            "n_subscribers": cells.n_subscribers,
+        },
+        membership=np.packbits(cells.membership, axis=1),
+        probs=cells.probs,
+        cell_flat=flat,
+        cell_offsets=offsets,
+        hypercell_of_cell=cells.hypercell_of_cell,
+    )
+
+
+def load_cell_set(path) -> CellSet:
+    meta, arrays = _load(path)
+    _check_kind(meta, "cells")
+    space = _space_from_meta(meta["space"])
+    n_subscribers = int(meta["n_subscribers"])
+    membership = np.unpackbits(
+        arrays["membership"], axis=1, count=n_subscribers
+    ).astype(bool)
+    return CellSet(
+        space=space,
+        membership=membership,
+        probs=arrays["probs"],
+        cell_ids=_unpack_ragged(
+            arrays["cell_flat"], arrays["cell_offsets"]
+        ),
+        hypercell_of_cell=arrays["hypercell_of_cell"],
+    )
+
+
+# ----------------------------------------------------------------------
+# clusterings
+# ----------------------------------------------------------------------
+def save_clustering(clustering: Clustering, path) -> None:
+    """Persist a clustering together with its cell set."""
+    flat, offsets = _pack_ragged(clustering.cells.cell_ids)
+    _save(
+        path,
+        {
+            "kind": "clustering",
+            "space": _space_meta(clustering.cells.space),
+            "n_subscribers": clustering.cells.n_subscribers,
+        },
+        membership=np.packbits(clustering.cells.membership, axis=1),
+        probs=clustering.cells.probs,
+        cell_flat=flat,
+        cell_offsets=offsets,
+        hypercell_of_cell=clustering.cells.hypercell_of_cell,
+        assignment=clustering.assignment,
+    )
+
+
+def load_clustering(path) -> Clustering:
+    meta, arrays = _load(path)
+    _check_kind(meta, "clustering")
+    space = _space_from_meta(meta["space"])
+    n_subscribers = int(meta["n_subscribers"])
+    membership = np.unpackbits(
+        arrays["membership"], axis=1, count=n_subscribers
+    ).astype(bool)
+    cells = CellSet(
+        space=space,
+        membership=membership,
+        probs=arrays["probs"],
+        cell_ids=_unpack_ragged(
+            arrays["cell_flat"], arrays["cell_offsets"]
+        ),
+        hypercell_of_cell=arrays["hypercell_of_cell"],
+    )
+    return Clustering(cells, arrays["assignment"])
+
+
+# ----------------------------------------------------------------------
+# no-loss results
+# ----------------------------------------------------------------------
+def save_noloss_result(result: NoLossResult, path) -> None:
+    """Persist a No-Loss region list with its group index."""
+    member_flat, member_offsets = _pack_ragged(result.members)
+    group_flat, group_offsets = _pack_ragged(result.group_members)
+    _save(
+        path,
+        {"kind": "noloss", "space": _space_meta(result.space)},
+        los=result.los,
+        his=result.his,
+        weights=result.weights,
+        member_flat=member_flat,
+        member_offsets=member_offsets,
+        group_of=result.group_of,
+        group_flat=group_flat,
+        group_offsets=group_offsets,
+    )
+
+
+def load_noloss_result(path) -> NoLossResult:
+    meta, arrays = _load(path)
+    _check_kind(meta, "noloss")
+    return NoLossResult(
+        space=_space_from_meta(meta["space"]),
+        los=arrays["los"],
+        his=arrays["his"],
+        weights=arrays["weights"],
+        members=_unpack_ragged(
+            arrays["member_flat"], arrays["member_offsets"]
+        ),
+        group_of=arrays["group_of"],
+        group_members=_unpack_ragged(
+            arrays["group_flat"], arrays["group_offsets"]
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Simulation harness: scenarios, metrics, experiment contexts and the
+runners that regenerate every table and figure of the paper."""
+
+from .experiment import (
+    GRID_ALGORITHMS,
+    AlgorithmResult,
+    ExperimentContext,
+    make_grid_algorithm,
+)
+from .figures import (
+    DEFAULT_ALGORITHMS,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    format_results,
+)
+from .metrics import CostSummary, improvement_percentage
+from .report import ascii_chart, chart_improvement, results_to_rows, rows_to_csv
+from .stats import SummaryStatistics, replicate, summarize
+from .scenario import (
+    Scenario,
+    build_evaluation_scenario,
+    build_preliminary_scenario,
+)
+from .tables import (
+    TABLE1_ROWS,
+    TABLE2_ROWS,
+    TableRowSpec,
+    format_table,
+    run_table,
+    run_table_row,
+)
+
+__all__ = [
+    "GRID_ALGORITHMS",
+    "AlgorithmResult",
+    "ExperimentContext",
+    "make_grid_algorithm",
+    "DEFAULT_ALGORITHMS",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "format_results",
+    "CostSummary",
+    "improvement_percentage",
+    "ascii_chart",
+    "chart_improvement",
+    "results_to_rows",
+    "rows_to_csv",
+    "SummaryStatistics",
+    "replicate",
+    "summarize",
+    "Scenario",
+    "build_evaluation_scenario",
+    "build_preliminary_scenario",
+    "TABLE1_ROWS",
+    "TABLE2_ROWS",
+    "TableRowSpec",
+    "format_table",
+    "run_table",
+    "run_table_row",
+]

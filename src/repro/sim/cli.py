@@ -1,0 +1,160 @@
+"""Command-line runner for the paper's tables and figures.
+
+Usage::
+
+    python -m repro.sim.cli table1 [--events N] [--seed S]
+    python -m repro.sim.cli table2 [--events N] [--seed S]
+    python -m repro.sim.cli fig7   [--modes {1,4,9}] [--groups 10,40,100] ...
+    python -m repro.sim.cli fig8 | fig9 | fig10 | fig11
+
+Every sub-command prints the same rows/series the corresponding paper
+artefact reports.  Paper-scale runs are the defaults for algorithm
+parameters; ``--events`` and the sweep grids control the runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .figures import figure7, figure8, figure9, figure10, figure11, format_results
+from .report import chart_improvement, results_to_rows, rows_to_csv
+from .tables import TABLE1_ROWS, TABLE2_ROWS, format_table, run_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated integer list, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.sim.cli",
+        description="Regenerate the tables and figures of the paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table in ("table1", "table2"):
+        p = sub.add_parser(table, help=f"run {table} (section 3 costs)")
+        p.add_argument("--events", type=int, default=60)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig7", help="improvement % vs number of groups")
+    p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
+    p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
+    p.add_argument(
+        "--algorithms",
+        default="kmeans,forgy,mst,pairs",
+        help="comma-separated algorithm names",
+    )
+    p.add_argument("--events", type=int, default=150)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-noloss", action="store_true")
+    p.add_argument("--csv", metavar="PATH", help="also export rows as CSV")
+    p.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart"
+    )
+
+    p = sub.add_parser("fig8", help="no-loss parameter sweeps")
+    p.add_argument("--keeps", type=_int_list, default=[250, 500, 1000, 2000])
+    p.add_argument("--iters", type=_int_list, default=[0, 1, 2, 4, 8])
+    p.add_argument("--groups", type=int, default=60)
+    p.add_argument("--events", type=int, default=150)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig9", help="robustness across topology seeds")
+    p.add_argument("--seeds", type=_int_list, default=[0, 1])
+    p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
+    p.add_argument("--events", type=int, default=150)
+
+    for fig in ("fig10", "fig11"):
+        p = sub.add_parser(fig, help="quality/time vs cell budget")
+        p.add_argument(
+            "--cells", type=_int_list, default=[250, 500, 1000, 2000]
+        )
+        p.add_argument("--groups", type=int, default=60)
+        p.add_argument("--events", type=int, default=150)
+        p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        rows = run_table(
+            TABLE1_ROWS, regionalism=0.4, n_events=args.events, seed=args.seed
+        )
+        print(format_table(rows, "Table 1. Degree 0.4 regionalism"))
+    elif args.command == "table2":
+        rows = run_table(
+            TABLE2_ROWS, regionalism=0.0, n_events=args.events, seed=args.seed
+        )
+        print(format_table(rows, "Table 2. No regionalism"))
+    elif args.command == "fig7":
+        results = figure7(
+            group_counts=args.groups,
+            algorithms=tuple(args.algorithms.split(",")),
+            modes=args.modes,
+            n_events=args.events,
+            noloss=not args.no_noloss,
+            seed=args.seed,
+        )
+        print(format_results(results))
+        if args.chart:
+            print()
+            print(chart_improvement(results, scheme="dense"))
+        if args.csv:
+            rows_to_csv(results_to_rows(results), args.csv)
+            print(f"(rows written to {args.csv})")
+    elif args.command == "fig8":
+        rows = figure8(
+            keep_counts=args.keeps,
+            iteration_counts=args.iters,
+            n_groups=args.groups,
+            n_events=args.events,
+            seed=args.seed,
+        )
+        for row in rows:
+            print(
+                f"sweep={row['sweep']:>10} n_keep={row['n_keep']:>5} "
+                f"iters={row['iterations']:>2} "
+                f"improvement={row['improvement_pct']:6.2f}% "
+                f"fit={row['fit_seconds']:6.2f}s"
+            )
+    elif args.command == "fig9":
+        per_seed = figure9(
+            seeds=args.seeds,
+            group_counts=args.groups,
+            n_events=args.events,
+        )
+        for seed, results in per_seed.items():
+            print(f"-- network seed {seed} --")
+            print(format_results(results))
+    elif args.command in ("fig10", "fig11"):
+        runner = figure10 if args.command == "fig10" else figure11
+        rows = runner(
+            cell_budgets=args.cells,
+            n_groups=args.groups,
+            n_events=args.events,
+            seed=args.seed,
+        )
+        print(f"{'algorithm':>14} {'cells':>6} {'improve%':>9} {'fit_s':>8}")
+        for row in rows:
+            print(
+                f"{row['algorithm']:>14} {row['n_cells']:>6} "
+                f"{row['improvement_pct']:>9.1f} {row['fit_seconds']:>8.3f}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Evaluation metrics (section 5.2).
+
+The paper normalises communication costs as an *improvement percentage*
+over unicast: 0 % is the cost of unicasting every message, 100 % is the
+cost of the per-event ideal multicast group.  Clustering algorithms land
+in between; negative values mean "worse than unicast".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["improvement_percentage", "CostSummary"]
+
+
+def improvement_percentage(
+    unicast: float, ideal: float, achieved: float
+) -> float:
+    """Map a cost onto the paper's 0..100 % improvement scale.
+
+    ``100 * (unicast - achieved) / (unicast - ideal)``.  When unicast and
+    ideal coincide there is no headroom to improve; the achieved cost is
+    then rated 100 % if it matches and 0 % otherwise.
+    """
+    if unicast < ideal - 1e-9:
+        raise ValueError("unicast cost cannot be below the ideal cost")
+    headroom = unicast - ideal
+    if headroom <= 1e-12:
+        return 100.0 if abs(achieved - unicast) <= 1e-9 else 0.0
+    return 100.0 * (unicast - achieved) / headroom
+
+
+@dataclass
+class CostSummary:
+    """Aggregated costs of one evaluation run over a fixed event sample."""
+
+    n_events: int
+    unicast: float
+    broadcast: float
+    ideal: float
+    achieved: Optional[float] = None
+    wasted_deliveries: float = 0.0
+
+    @property
+    def improvement(self) -> Optional[float]:
+        """Improvement percentage of the achieved cost (if any)."""
+        if self.achieved is None:
+            return None
+        return improvement_percentage(self.unicast, self.ideal, self.achieved)
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for tabular reporting."""
+        row: Dict[str, float] = {
+            "n_events": float(self.n_events),
+            "unicast": self.unicast,
+            "broadcast": self.broadcast,
+            "ideal": self.ideal,
+        }
+        if self.achieved is not None:
+            row["achieved"] = self.achieved
+            row["improvement_pct"] = self.improvement or 0.0
+            row["wasted_deliveries"] = self.wasted_deliveries
+        return row

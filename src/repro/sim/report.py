@@ -1,0 +1,127 @@
+"""Reporting utilities: CSV export and terminal (ASCII) charts.
+
+The benchmark harness prints tabular series; this module renders them as
+dependency-free line charts for quick visual comparison with the paper's
+figures, and exports any row list as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .experiment import AlgorithmResult
+
+__all__ = ["rows_to_csv", "results_to_rows", "ascii_chart", "chart_improvement"]
+
+Point = Tuple[float, float]
+
+
+def results_to_rows(results: Sequence[AlgorithmResult]) -> List[Dict]:
+    """Flatten AlgorithmResult objects into plain dictionaries."""
+    rows = []
+    for r in results:
+        row = {
+            "algorithm": r.algorithm,
+            "scheme": r.scheme,
+            "n_groups": r.n_groups,
+            "n_cells": r.n_cells,
+            "fit_seconds": r.fit_seconds,
+        }
+        row.update(r.summary.as_row())
+        rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: Sequence[Mapping], path=None) -> str:
+    """Write dictionaries as CSV; returns the text (and writes ``path``
+    when given).  Columns are the union of keys, in first-seen order."""
+    if not rows:
+        raise ValueError("no rows to export")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as a text chart.
+
+    Each series gets a marker character; points map onto a
+    ``width x height`` grid spanning the data's bounding box.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    legend = []
+    for index, (label, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} {label}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} ({y_lo:g} .. {y_hi:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_lo:g} .. {x_hi:g})")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_improvement(
+    results: Sequence[AlgorithmResult],
+    scheme: str = "dense",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Figure 7-style chart: improvement percentage vs group count."""
+    series: Dict[str, List[Point]] = {}
+    for r in results:
+        if r.scheme != scheme:
+            continue
+        series.setdefault(r.algorithm, []).append(
+            (float(r.n_groups), float(r.improvement))
+        )
+    if not series:
+        raise ValueError(f"no results for scheme {scheme!r}")
+    for pts in series.values():
+        pts.sort()
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        x_label="multicast groups (K)",
+        y_label="improvement %",
+    )

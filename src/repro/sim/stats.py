@@ -1,0 +1,99 @@
+"""Multi-seed replication and summary statistics.
+
+The paper's Figure 9 makes a robustness argument from two topology
+seeds; a production evaluation wants the general tool: run an experiment
+across many seeds and report mean, standard deviation and a normal-
+approximation confidence interval.  No scipy dependency — the z-value
+table covers the usual confidence levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import math
+
+import numpy as np
+
+__all__ = ["SummaryStatistics", "summarize", "replicate"]
+
+#: two-sided normal quantiles for the supported confidence levels
+_Z_VALUES = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean, spread and confidence half-width of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci_half_width: float
+    confidence: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_half_width
+
+    def overlaps(self, other: "SummaryStatistics") -> bool:
+        """True when the two confidence intervals intersect."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.2f} ± {self.ci_half_width:.2f} "
+            f"({int(self.confidence * 100)}% CI, n={self.n})"
+        )
+
+
+def summarize(
+    values: Sequence[float], confidence: float = 0.95
+) -> SummaryStatistics:
+    """Summary statistics of a sample (normal-approximation CI)."""
+    if confidence not in _Z_VALUES:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z_VALUES)}"
+        )
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean = float(data.mean())
+    if len(data) == 1:
+        return SummaryStatistics(1, mean, 0.0, math.inf, confidence)
+    std = float(data.std(ddof=1))
+    half = _Z_VALUES[confidence] * std / math.sqrt(len(data))
+    return SummaryStatistics(len(data), mean, std, half, confidence)
+
+
+def replicate(
+    experiment: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Dict[str, SummaryStatistics]:
+    """Run ``experiment(seed)`` per seed and summarise each metric.
+
+    ``experiment`` returns a flat ``{metric: value}`` dictionary; every
+    replication must produce the same metric keys.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    for index, seed in enumerate(seeds):
+        row = experiment(int(seed))
+        if index == 0:
+            collected = {key: [] for key in row}
+        if set(row) != set(collected):
+            raise ValueError(
+                f"replication for seed {seed} produced different metrics"
+            )
+        for key, value in row.items():
+            collected[key].append(float(value))
+    return {
+        key: summarize(values, confidence)
+        for key, values in collected.items()
+    }

@@ -1,0 +1,142 @@
+"""Reproduction of Tables 1 and 2 (section 3, preliminary analysis).
+
+Each row reports the mean per-event communication cost of pure unicast,
+broadcast and the per-event ideal multicast on a transit-stub network,
+for a given subscription population.  Table 1 uses a 0.4 degree of
+regionalism, Table 2 none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..delivery import Dispatcher
+from .scenario import build_preliminary_scenario
+
+__all__ = [
+    "TableRowSpec",
+    "TABLE1_ROWS",
+    "TABLE2_ROWS",
+    "run_table_row",
+    "run_table",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class TableRowSpec:
+    """One row of Table 1 / Table 2."""
+
+    n_nodes: int
+    n_subscriptions: int
+    distribution: str  # "uniform" | "gaussian"
+
+
+#: the row lists exactly as printed in the paper
+TABLE1_ROWS: Tuple[TableRowSpec, ...] = (
+    TableRowSpec(100, 5000, "uniform"),
+    TableRowSpec(100, 5000, "gaussian"),
+    TableRowSpec(100, 1000, "uniform"),
+    TableRowSpec(100, 1000, "gaussian"),
+    TableRowSpec(100, 80, "uniform"),
+    TableRowSpec(100, 80, "gaussian"),
+    TableRowSpec(300, 5000, "uniform"),
+    TableRowSpec(300, 1000, "uniform"),
+    TableRowSpec(300, 350, "uniform"),
+    TableRowSpec(600, 10000, "uniform"),
+    TableRowSpec(600, 10000, "gaussian"),
+    TableRowSpec(600, 5000, "uniform"),
+    TableRowSpec(600, 5000, "gaussian"),
+    TableRowSpec(600, 1000, "uniform"),
+    TableRowSpec(600, 1000, "gaussian"),
+)
+
+TABLE2_ROWS: Tuple[TableRowSpec, ...] = (
+    TableRowSpec(100, 5000, "uniform"),
+    TableRowSpec(100, 5000, "gaussian"),
+    TableRowSpec(100, 1000, "uniform"),
+    TableRowSpec(100, 1000, "gaussian"),
+    TableRowSpec(100, 80, "uniform"),
+    TableRowSpec(100, 80, "gaussian"),
+    TableRowSpec(300, 5000, "uniform"),
+    TableRowSpec(300, 5000, "gaussian"),
+    TableRowSpec(300, 1000, "uniform"),
+    TableRowSpec(300, 1000, "gaussian"),
+    TableRowSpec(300, 80, "uniform"),
+    TableRowSpec(300, 80, "gaussian"),
+    TableRowSpec(600, 10000, "uniform"),
+    TableRowSpec(600, 10000, "gaussian"),
+    TableRowSpec(600, 5000, "uniform"),
+    TableRowSpec(600, 5000, "gaussian"),
+    TableRowSpec(600, 1000, "uniform"),
+    TableRowSpec(600, 1000, "gaussian"),
+)
+
+
+def run_table_row(
+    spec: TableRowSpec,
+    regionalism: float,
+    n_events: int = 100,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Compute the unicast / broadcast / ideal costs of one row."""
+    scenario = build_preliminary_scenario(
+        n_nodes=spec.n_nodes,
+        n_subscriptions=spec.n_subscriptions,
+        variant=spec.distribution,
+        regionalism=regionalism,
+        seed=seed,
+    )
+    dispatcher = Dispatcher(
+        scenario.routing, scenario.subscriptions, scheme="dense"
+    )
+    events = scenario.sample_events(n_events)
+    unicast = broadcast = ideal = 0.0
+    for event in events:
+        interested = scenario.subscriptions.interested_subscribers(event.point)
+        unicast += dispatcher.unicast_reference(event.publisher, interested)
+        broadcast += dispatcher.broadcast_reference(event.publisher)
+        ideal += dispatcher.ideal_reference(event.publisher, interested)
+    return {
+        "n_nodes": spec.n_nodes,
+        "n_subscriptions": spec.n_subscriptions,
+        "distribution": spec.distribution,
+        "regionalism": regionalism,
+        "unicast": unicast / n_events,
+        "broadcast": broadcast / n_events,
+        "ideal": ideal / n_events,
+    }
+
+
+def run_table(
+    rows: Sequence[TableRowSpec],
+    regionalism: float,
+    n_events: int = 100,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Run every row of a table."""
+    return [
+        run_table_row(spec, regionalism, n_events=n_events, seed=seed)
+        for spec in rows
+    ]
+
+
+def format_table(results: Sequence[Dict[str, float]], title: str) -> str:
+    """Render results in the layout of the paper's tables."""
+    header_subn = "Sub'n"
+    header_distn = "Dist'n"
+    lines = [
+        title,
+        f"{'Node':>5} {header_subn:>6} {header_distn:>9} "
+        f"{'Unicast':>10} {'Broadcast':>10} {'Ideal':>10}",
+    ]
+    for row in results:
+        lines.append(
+            f"{int(row['n_nodes']):>5} {int(row['n_subscriptions']):>6} "
+            f"{row['distribution']:>9} {row['unicast']:>10.0f} "
+            f"{row['broadcast']:>10.0f} {row['ideal']:>10.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Workload models: subscription and publication generators (sections 3
+and 5.1 of the paper), plus the distributions they are built from."""
+
+from .decompose import MultiRangeSubscription, decompose, decompose_all
+from .distributions import (
+    GaussianMixture1D,
+    IntervalDistribution,
+    ParetoLength,
+    UniformLattice,
+    ZipfLike,
+    normal_cdf,
+)
+from .publications import (
+    MixturePublicationModel,
+    PreliminaryPublicationModel,
+    PublicationEvent,
+    PublicationModel,
+    four_mode_mixture,
+    nine_mode_mixture,
+    single_mode_mixture,
+)
+from .predicates import (
+    Predicate,
+    PredicateSubscription,
+    PredicateSubscriptionSet,
+    ball_predicate,
+    rectangle_predicate,
+    union_predicate,
+)
+from .spaces import evaluation_space, preliminary_space
+from .synthetic import SyntheticConfig, SyntheticWorkload, generate_synthetic
+from .trades import TradeStreamConfig, TradeStreamGenerator
+from .subscriptions import (
+    EvaluationSubscriptionModel,
+    PreliminarySubscriptionModel,
+    Subscription,
+    SubscriptionSet,
+)
+
+__all__ = [
+    "MultiRangeSubscription",
+    "decompose",
+    "decompose_all",
+    "GaussianMixture1D",
+    "IntervalDistribution",
+    "ParetoLength",
+    "UniformLattice",
+    "ZipfLike",
+    "normal_cdf",
+    "MixturePublicationModel",
+    "PreliminaryPublicationModel",
+    "PublicationEvent",
+    "PublicationModel",
+    "four_mode_mixture",
+    "nine_mode_mixture",
+    "single_mode_mixture",
+    "Predicate",
+    "PredicateSubscription",
+    "PredicateSubscriptionSet",
+    "ball_predicate",
+    "rectangle_predicate",
+    "union_predicate",
+    "evaluation_space",
+    "preliminary_space",
+    "TradeStreamConfig",
+    "TradeStreamGenerator",
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "generate_synthetic",
+    "EvaluationSubscriptionModel",
+    "PreliminarySubscriptionModel",
+    "Subscription",
+    "SubscriptionSet",
+]

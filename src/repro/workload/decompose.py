@@ -1,0 +1,120 @@
+"""Multi-range subscription decomposition (section 1 of the paper).
+
+Content-based predicates may be *range-based* — "composed of intervals
+in the underlying domain of the predicate".  The paper reduces that
+generality up front: "By decomposing a subscription with multiple such
+ranges into multiple subscriptions consisting of single ranges we can
+see that it is sufficient only to consider intervals, albeit at a cost
+of more subscriptions."  This module performs that decomposition: a
+subscription whose dimensions carry *unions of intervals* (e.g. the
+"blue chip" stock category of the introduction) expands into the
+cross-product of single-interval rectangles, all owned by the same
+subscriber.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..geometry import Interval, Rectangle
+from .subscriptions import Subscription
+
+__all__ = ["MultiRangeSubscription", "decompose", "decompose_all"]
+
+
+@dataclass(frozen=True)
+class MultiRangeSubscription:
+    """A subscription with a union of intervals per dimension.
+
+    ``ranges[d]`` is the sequence of acceptable intervals in dimension
+    ``d``; the interest set is the union over all combinations (a union
+    of aligned rectangles).
+    """
+
+    subscriber: int
+    node: int
+    ranges: Tuple[Tuple[Interval, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranges:
+            raise ValueError("need at least one dimension")
+        for d, intervals in enumerate(self.ranges):
+            if not intervals:
+                raise ValueError(f"dimension {d} has no intervals")
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.ranges)
+
+    def n_rectangles(self) -> int:
+        """Size of the decomposition (product of per-dimension counts)."""
+        count = 1
+        for intervals in self.ranges:
+            count *= len(intervals)
+        return count
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Membership in the union-of-rectangles interest set."""
+        if len(point) != self.dimensions:
+            raise ValueError("point dimensionality mismatch")
+        return all(
+            any(interval.contains(x) for interval in intervals)
+            for intervals, x in zip(self.ranges, point)
+        )
+
+
+def _merge_intervals(intervals: Sequence[Interval]) -> List[Interval]:
+    """Canonicalise a union: drop empties, merge overlapping/touching
+    half-open intervals (``(a,b]`` and ``(b,c]`` merge to ``(a,c]``)."""
+    non_empty = sorted(
+        (iv for iv in intervals if not iv.is_empty),
+        key=lambda iv: (iv.lo, iv.hi),
+    )
+    merged: List[Interval] = []
+    for interval in non_empty:
+        if merged and interval.lo <= merged[-1].hi:
+            merged[-1] = Interval.make(
+                merged[-1].lo, max(merged[-1].hi, interval.hi)
+            )
+        else:
+            merged.append(interval)
+    return merged
+
+
+def decompose(subscription: MultiRangeSubscription) -> List[Subscription]:
+    """Expand one multi-range subscription into single-range ones.
+
+    Per-dimension interval unions are canonicalised first (overlapping
+    and touching intervals merged), so the output rectangles are
+    pairwise disjoint and their union equals the original interest set.
+    Raises when some dimension's union is empty.
+    """
+    merged_per_dim: List[List[Interval]] = []
+    for d, intervals in enumerate(subscription.ranges):
+        merged = _merge_intervals(intervals)
+        if not merged:
+            raise ValueError(
+                f"dimension {d} of subscriber {subscription.subscriber} "
+                "has an empty interval union"
+            )
+        merged_per_dim.append(merged)
+    return [
+        Subscription(
+            subscription.subscriber,
+            subscription.node,
+            Rectangle(tuple(combo)),
+        )
+        for combo in itertools.product(*merged_per_dim)
+    ]
+
+
+def decompose_all(
+    subscriptions: Sequence[MultiRangeSubscription],
+) -> List[Subscription]:
+    """Decompose a collection, preserving subscriber identities."""
+    result: List[Subscription] = []
+    for subscription in subscriptions:
+        result.extend(decompose(subscription))
+    return result

@@ -1,0 +1,172 @@
+"""Non-rectangular subscription interest sets (future-work item 1).
+
+The paper's discussion: "Proposed algorithms can be adapted to make use
+of non-rectangular subscription interest sets ... the same grid data
+structures can be created without requiring the sets to be rectangles."
+This module implements that adaptation: a subscriber's interest is an
+arbitrary *predicate* over event points, rasterised onto the grid when
+the membership matrix is built.  Everything downstream — hyper-cells,
+the expected-waste distance, every grid-based clustering algorithm and
+the grid matcher — works unchanged.  (Only the No-Loss algorithm is
+excluded: the paper notes it "relies on the rectangular interest set
+assumption".)
+
+Predicates are vectorised: a callable receiving an ``(n, N)`` array of
+lattice points and returning an ``(n,)`` boolean array.  Helpers build
+the common shapes (rectangles, unions, balls, custom conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import EventSpace, Rectangle
+
+__all__ = [
+    "Predicate",
+    "PredicateSubscription",
+    "PredicateSubscriptionSet",
+    "rectangle_predicate",
+    "union_predicate",
+    "ball_predicate",
+]
+
+#: a vectorised interest test: (n, N) lattice points -> (n,) bools
+Predicate = Callable[[np.ndarray], np.ndarray]
+
+
+def rectangle_predicate(rectangle: Rectangle) -> Predicate:
+    """Predicate form of an aligned rectangle (half-open semantics)."""
+    los = np.array([side.lo for side in rectangle.sides])
+    his = np.array([side.hi for side in rectangle.sides])
+
+    def predicate(points: np.ndarray) -> np.ndarray:
+        return np.all((los < points) & (points <= his), axis=1)
+
+    return predicate
+
+
+def union_predicate(predicates: Sequence[Predicate]) -> Predicate:
+    """Interest in any of several regions (e.g. a 'blue chip' category
+    decomposed into a union of conjunctions, as in the paper's intro)."""
+    if not predicates:
+        raise ValueError("union of zero predicates is empty")
+    parts = tuple(predicates)
+
+    def predicate(points: np.ndarray) -> np.ndarray:
+        result = parts[0](points)
+        for p in parts[1:]:
+            result = result | p(points)
+        return result
+
+    return predicate
+
+
+def ball_predicate(center: Sequence[float], radius: float) -> Predicate:
+    """A genuinely non-rectangular shape: a Euclidean ball of interest."""
+    c = np.asarray(center, dtype=np.float64)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+
+    def predicate(points: np.ndarray) -> np.ndarray:
+        return np.sum((points - c) ** 2, axis=1) <= radius**2
+
+    return predicate
+
+
+@dataclass(frozen=True)
+class PredicateSubscription:
+    """One predicate-based subscription owned by a subscriber at a node."""
+
+    subscriber: int
+    node: int
+    predicate: Predicate
+
+
+class PredicateSubscriptionSet:
+    """Drop-in subscription source backed by arbitrary predicates.
+
+    Implements the interface the grid framework and the grid matcher
+    consume: ``space``, ``n_subscribers``, ``subscriber_nodes``,
+    ``interested_subscribers``, ``nodes_of_subscribers`` and
+    ``membership_matrix``.
+    """
+
+    def __init__(
+        self,
+        space: EventSpace,
+        subscriptions: Sequence[PredicateSubscription],
+    ) -> None:
+        if not subscriptions:
+            raise ValueError("subscription set must not be empty")
+        self.space = space
+        self.subscriptions: Tuple[PredicateSubscription, ...] = tuple(
+            subscriptions
+        )
+        self.n_subscribers = 1 + max(s.subscriber for s in subscriptions)
+        node_of = np.full(self.n_subscribers, -1, dtype=np.int64)
+        for sub in subscriptions:
+            if sub.subscriber < 0:
+                raise ValueError("subscriber ids must be non-negative")
+            if node_of[sub.subscriber] not in (-1, sub.node):
+                raise ValueError(
+                    f"subscriber {sub.subscriber} appears at two nodes"
+                )
+            node_of[sub.subscriber] = sub.node
+        if np.any(node_of < 0):
+            raise ValueError("every subscriber id up to the max must be used")
+        self._node_of = node_of
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.subscriptions)
+
+    @property
+    def subscriber_nodes(self) -> np.ndarray:
+        return self._node_of
+
+    def node_of(self, subscriber: int) -> int:
+        return int(self._node_of[subscriber])
+
+    def nodes_of_subscribers(self, subscribers: Sequence[int]) -> np.ndarray:
+        if len(subscribers) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self._node_of[np.asarray(subscribers, dtype=np.int64)])
+
+    # ------------------------------------------------------------------
+    def interested_subscribers(self, point: Sequence[float]) -> np.ndarray:
+        """Subscriber ids whose predicate accepts the event point."""
+        x = np.asarray(point, dtype=np.float64).reshape(1, -1)
+        if x.shape[1] != self.space.n_dims:
+            raise ValueError("point dimensionality mismatch")
+        hits = {
+            s.subscriber
+            for s in self.subscriptions
+            if bool(s.predicate(x)[0])
+        }
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def interested_nodes(self, point: Sequence[float]) -> np.ndarray:
+        return self.nodes_of_subscribers(self.interested_subscribers(point))
+
+    # ------------------------------------------------------------------
+    def membership_matrix(self, space: EventSpace) -> np.ndarray:
+        """Rasterise every predicate onto the grid.
+
+        A cell is *interesting* to a subscriber when its lattice point
+        satisfies the predicate (cells are identified with their lattice
+        values, matching the rectangle path's unit grid).
+        """
+        if space is not self.space and space.shape != self.space.shape:
+            raise ValueError("space mismatch")
+        points = np.array(
+            [space.cell_value(c) for c in range(space.n_cells)],
+            dtype=np.float64,
+        )
+        membership = np.zeros((space.n_cells, self.n_subscribers), dtype=bool)
+        for sub in self.subscriptions:
+            membership[:, sub.subscriber] |= sub.predicate(points)
+        return membership

@@ -1,0 +1,203 @@
+"""Publication (event) workload models.
+
+Publications are points of the event space, each originating at a
+publisher node of the network.  The paper uses two families of models:
+
+* **Section 3 (preliminary analysis)** — 4 dimensions; the first is the
+  identifier of the stub the event originates from (the "regional
+  attribute"); the remaining three take integer values 0..20, either
+  uniformly or from a gaussian.
+* **Section 5.1 (evaluation)** — points from a mixture of multivariate
+  normals with 1, 4 or 9 modes, built as independent per-dimension
+  mixtures, rounded and clipped onto the lattice.
+
+All models expose an exact per-cell probability mass function
+``cell_pmf()``, which the grid-based clustering framework uses as the
+publication density ``p_p`` in the expected-waste distance, and the
+No-Loss algorithm uses to weigh candidate rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..geometry import EventSpace
+from ..network import Topology
+from .distributions import GaussianMixture1D, UniformLattice
+from .spaces import evaluation_space, preliminary_space
+
+__all__ = [
+    "PublicationEvent",
+    "PublicationModel",
+    "PreliminaryPublicationModel",
+    "MixturePublicationModel",
+    "single_mode_mixture",
+    "four_mode_mixture",
+    "nine_mode_mixture",
+]
+
+AttributeDistribution = Union[GaussianMixture1D, UniformLattice]
+
+
+@dataclass(frozen=True)
+class PublicationEvent:
+    """A published event: a lattice point plus its publisher node."""
+
+    point: Tuple[int, ...]
+    publisher: int
+
+
+class PublicationModel(Protocol):
+    """Common interface of the publication workloads."""
+
+    space: EventSpace
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[PublicationEvent]:
+        """Draw ``n`` events (points with publisher nodes)."""
+        ...
+
+    def cell_pmf(self) -> np.ndarray:
+        """Exact probability mass of each flat grid cell (sums to 1)."""
+        ...
+
+
+def _product_pmf(space: EventSpace, per_dim: Sequence[np.ndarray]) -> np.ndarray:
+    """Flat cell pmf of a per-dimension-independent model."""
+    pmf = per_dim[0]
+    for marginal in per_dim[1:]:
+        pmf = np.multiply.outer(pmf, marginal)
+    return pmf.reshape(-1)
+
+
+class PreliminaryPublicationModel:
+    """The section 3 publication model.
+
+    An event's publisher is a uniformly random stub node; the regional
+    attribute (dimension 0) is set to the identifier of the publisher's
+    stub; the remaining attributes are drawn independently from the given
+    distributions (uniform or gaussian over 0..20).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        attribute_distributions: Sequence[AttributeDistribution],
+        space: Optional[EventSpace] = None,
+    ) -> None:
+        self.topology = topology
+        self.space = space or preliminary_space(topology.n_stubs)
+        if len(attribute_distributions) != self.space.n_dims - 1:
+            raise ValueError(
+                "need one attribute distribution per non-regional dimension"
+            )
+        self.attribute_distributions = tuple(attribute_distributions)
+        self._stub_nodes = topology.stub_nodes()
+        if not self._stub_nodes:
+            raise ValueError("topology has no stub nodes to publish from")
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[PublicationEvent]:
+        publishers = rng.choice(self._stub_nodes, size=n)
+        columns = [np.array([self.topology.stub_of[p] for p in publishers])]
+        for dim, dist in zip(self.space.dimensions[1:], self.attribute_distributions):
+            if isinstance(dist, UniformLattice):
+                columns.append(dist.sample(rng, dim, n))
+            else:
+                raw = dist.sample(rng, n)
+                columns.append(np.clip(np.rint(raw), dim.lo, dim.hi).astype(int))
+        points = np.stack(columns, axis=1)
+        return [
+            PublicationEvent(tuple(int(x) for x in row), int(pub))
+            for row, pub in zip(points, publishers)
+        ]
+
+    def cell_pmf(self) -> np.ndarray:
+        # each stub is the origin with probability proportional to its size
+        # (publisher nodes are uniform over stub nodes)
+        stub_sizes = np.array(
+            [len(members) for members in self.topology.stubs], dtype=np.float64
+        )
+        region_pmf = stub_sizes / stub_sizes.sum()
+        per_dim = [region_pmf]
+        for dim, dist in zip(self.space.dimensions[1:], self.attribute_distributions):
+            per_dim.append(dist.lattice_pmf(dim))
+        return _product_pmf(self.space, per_dim)
+
+
+class MixturePublicationModel:
+    """The section 5.1 publication model: per-dimension gaussian mixtures.
+
+    The 1-, 4- and 9-mode multivariate mixtures of the paper are products
+    of independent per-dimension mixtures; publisher nodes are uniform
+    over the stub nodes of the topology (the paper leaves publisher
+    placement unspecified; stub nodes are where clients live).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        mixtures: Sequence[GaussianMixture1D],
+        space: Optional[EventSpace] = None,
+    ) -> None:
+        self.topology = topology
+        self.space = space or evaluation_space()
+        if len(mixtures) != self.space.n_dims:
+            raise ValueError("need one mixture per dimension")
+        self.mixtures = tuple(mixtures)
+        self._stub_nodes = topology.stub_nodes()
+        if not self._stub_nodes:
+            raise ValueError("topology has no stub nodes to publish from")
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[PublicationEvent]:
+        publishers = rng.choice(self._stub_nodes, size=n)
+        columns = []
+        for dim, mixture in zip(self.space.dimensions, self.mixtures):
+            raw = mixture.sample(rng, n)
+            columns.append(np.clip(np.rint(raw), dim.lo, dim.hi).astype(int))
+        points = np.stack(columns, axis=1)
+        return [
+            PublicationEvent(tuple(int(x) for x in row), int(pub))
+            for row, pub in zip(points, publishers)
+        ]
+
+    def cell_pmf(self) -> np.ndarray:
+        per_dim = [
+            mixture.lattice_pmf(dim)
+            for dim, mixture in zip(self.space.dimensions, self.mixtures)
+        ]
+        return _product_pmf(self.space, per_dim)
+
+
+# ----------------------------------------------------------------------
+# The three evaluation mixtures (section 5.1 parameters)
+# ----------------------------------------------------------------------
+def single_mode_mixture() -> List[GaussianMixture1D]:
+    """One-mode distribution: (1,1), (10,6), (9,2), (9,6) per dimension."""
+    return [
+        GaussianMixture1D.single(1, 1),
+        GaussianMixture1D.single(10, 6),
+        GaussianMixture1D.single(9, 2),
+        GaussianMixture1D.single(9, 6),
+    ]
+
+
+def four_mode_mixture() -> List[GaussianMixture1D]:
+    """Four-mode distribution (2 x 2 modes in dimensions 2 and 3)."""
+    return [
+        GaussianMixture1D.single(1, 1),
+        GaussianMixture1D([(0.5, 12, 3), (0.5, 6, 2)]),
+        GaussianMixture1D([(0.5, 4, 2), (0.5, 16, 2)]),
+        GaussianMixture1D.single(9, 6),
+    ]
+
+
+def nine_mode_mixture() -> List[GaussianMixture1D]:
+    """Nine-mode distribution (3 x 3 modes in dimensions 2 and 3)."""
+    return [
+        GaussianMixture1D.single(1, 1),
+        GaussianMixture1D([(0.3, 4, 3), (0.4, 11, 3), (0.3, 18, 3)]),
+        GaussianMixture1D([(0.3, 4, 3), (0.4, 9, 3), (0.3, 16, 3)]),
+        GaussianMixture1D.single(9, 6),
+    ]

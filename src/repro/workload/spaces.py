@@ -1,0 +1,42 @@
+"""Event space definitions for the paper's two experiment families."""
+
+from __future__ import annotations
+
+from ..geometry import Dimension, EventSpace
+
+__all__ = ["preliminary_space", "evaluation_space"]
+
+
+def preliminary_space(n_stubs: int) -> EventSpace:
+    """The 4-dimensional event space of the section 3 experiments.
+
+    Dimension 0 is the *regional attribute*: the identifier of the stub
+    (subnet) the publication originates from.  The other three attributes
+    take integer values 0..20.
+    """
+    if n_stubs < 1:
+        raise ValueError("need at least one stub")
+    return EventSpace(
+        [
+            Dimension("region", 0, n_stubs - 1),
+            Dimension("attr1", 0, 20),
+            Dimension("attr2", 0, 20),
+            Dimension("attr3", 0, 20),
+        ]
+    )
+
+
+def evaluation_space() -> EventSpace:
+    """The {bst, name, quote, volume} space of the section 5.1 model.
+
+    ``bst`` (buy/sell/transaction) is encoded as 0/1/2; the other three
+    attributes take integer values 0..20.
+    """
+    return EventSpace(
+        [
+            Dimension("bst", 0, 2),
+            Dimension("name", 0, 20),
+            Dimension("quote", 0, 20),
+            Dimension("volume", 0, 20),
+        ]
+    )

@@ -1,0 +1,346 @@
+"""Subscription workload models.
+
+A subscriber sits at a network node and expresses interest as an aligned
+rectangle of the event space.  The paper uses two generators:
+
+* **Section 3 (preliminary analysis)** — 4 attributes.  The first is the
+  regional attribute: with probability equal to the *degree of
+  regionalism* the subscription pins it to the subscriber's own stub,
+  otherwise it is a wildcard.  The other three attributes follow either
+  the *uniform* model (specified with probabilities 0.98, 0.98·0.78,
+  0.98·0.78², interval ends drawn uniformly from 0..20) or the *gaussian*
+  model (the q/mu/sigma table of section 3).
+* **Section 5.1 (evaluation)** — {bst, name, quote, volume} stock
+  subscriptions placed over the topology with a {40 %, 30 %, 30 %} split
+  across the three transit blocks and Zipf-like laws across stubs and
+  nodes; name intervals centred per transit block (means 3, 10, 17 with
+  sigma 4) with Zipf-distributed lengths; quote/volume intervals from the
+  parametric distribution with the table parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import EventSpace, Interval, Rectangle
+from ..network import Topology
+from .distributions import IntervalDistribution, ParetoLength, ZipfLike
+from .spaces import evaluation_space, preliminary_space
+
+__all__ = [
+    "Subscription",
+    "SubscriptionSet",
+    "PreliminarySubscriptionModel",
+    "EvaluationSubscriptionModel",
+]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One subscription rectangle owned by a subscriber at a node."""
+
+    subscriber: int
+    node: int
+    rectangle: Rectangle
+
+
+class SubscriptionSet:
+    """The totality of subscriptions, with vectorised matching support."""
+
+    def __init__(
+        self,
+        space: EventSpace,
+        subscriptions: Sequence[Subscription],
+    ) -> None:
+        if not subscriptions:
+            raise ValueError("subscription set must not be empty")
+        self.space = space
+        self.subscriptions: Tuple[Subscription, ...] = tuple(subscriptions)
+        self.n_subscribers = 1 + max(s.subscriber for s in subscriptions)
+        for sub in subscriptions:
+            if sub.rectangle.dimensions != space.n_dims:
+                raise ValueError("subscription dimensionality mismatch")
+            if sub.subscriber < 0:
+                raise ValueError("subscriber ids must be non-negative")
+
+        k = len(self.subscriptions)
+        n = space.n_dims
+        self._los = np.empty((k, n), dtype=np.float64)
+        self._his = np.empty((k, n), dtype=np.float64)
+        for i, sub in enumerate(self.subscriptions):
+            for d, side in enumerate(sub.rectangle.sides):
+                self._los[i, d] = side.lo
+                self._his[i, d] = side.hi
+        self._owners = np.array(
+            [s.subscriber for s in self.subscriptions], dtype=np.int64
+        )
+        node_of = np.full(self.n_subscribers, -1, dtype=np.int64)
+        for sub in self.subscriptions:
+            if node_of[sub.subscriber] not in (-1, sub.node):
+                raise ValueError(
+                    f"subscriber {sub.subscriber} appears at two nodes"
+                )
+            node_of[sub.subscriber] = sub.node
+        if np.any(node_of < 0):
+            raise ValueError("every subscriber id up to the max must be used")
+        self._node_of = node_of
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.subscriptions)
+
+    @property
+    def subscriber_nodes(self) -> np.ndarray:
+        """Array mapping subscriber id -> network node."""
+        return self._node_of
+
+    def node_of(self, subscriber: int) -> int:
+        return int(self._node_of[subscriber])
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(los, his)`` matrices of the subscription rectangles."""
+        return self._los, self._his
+
+    def rectangles(self) -> List[Rectangle]:
+        return [s.rectangle for s in self.subscriptions]
+
+    # ------------------------------------------------------------------
+    def matching_subscriptions(self, point: Sequence[float]) -> np.ndarray:
+        """Indices of subscriptions whose rectangle contains the point."""
+        x = np.asarray(point, dtype=np.float64)
+        if x.shape != (self.space.n_dims,):
+            raise ValueError("point dimensionality mismatch")
+        mask = np.all((self._los < x) & (x <= self._his), axis=1)
+        return np.nonzero(mask)[0]
+
+    def interested_subscribers(self, point: Sequence[float]) -> np.ndarray:
+        """Subscriber ids interested in the event (sorted, unique)."""
+        return np.unique(self._owners[self.matching_subscriptions(point)])
+
+    def interested_nodes(self, point: Sequence[float]) -> np.ndarray:
+        """Network nodes hosting at least one interested subscriber."""
+        return np.unique(self._node_of[self.interested_subscribers(point)])
+
+    def nodes_of_subscribers(self, subscribers: Sequence[int]) -> np.ndarray:
+        """Unique network nodes of the given subscriber ids."""
+        if len(subscribers) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self._node_of[np.asarray(subscribers, dtype=np.int64)])
+
+    def batch_interested_subscribers(
+        self, points: Sequence[Sequence[float]]
+    ) -> List[np.ndarray]:
+        """Interested subscribers for many events in one vectorised pass.
+
+        Broadcasting one ``(E, 1, N)`` point array against the
+        ``(k, N)`` bound matrices answers all events at once — the fast
+        path for experiment loops that price hundreds of events.
+        Equivalent to calling :meth:`interested_subscribers` per point.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != self.space.n_dims:
+            raise ValueError("points must be an (E, n_dims) array-like")
+        # (E, k): subscription j matches event e
+        hits = np.all(
+            (self._los[None, :, :] < pts[:, None, :])
+            & (pts[:, None, :] <= self._his[None, :, :]),
+            axis=2,
+        )
+        return [
+            np.unique(self._owners[np.nonzero(row)[0]]) for row in hits
+        ]
+
+
+# ----------------------------------------------------------------------
+# Section 3 model
+# ----------------------------------------------------------------------
+#: the gaussian variant's per-attribute parameters (section 3 table):
+#: (wildcard, left-ended, right-ended, mu1, s1, mu2, s2, mu3, s3, mean len)
+_GAUSSIAN_ROWS = (
+    (0.10, 0.0, 0.0, 8, 2, 10, 2, 9, 6, 1.0),
+    (0.15, 0.1, 0.1, 8, 1, 10, 1, 9, 2, 4.0),
+    (0.35, 0.1, 0.1, 8, 1, 10, 1, 9, 2, 4.0),
+)
+
+#: probability that attribute i+1 is specified in the uniform variant
+_UNIFORM_SPECIFIED = (0.98, 0.98 * 0.78, 0.98 * 0.78**2)
+
+
+class PreliminarySubscriptionModel:
+    """Subscription generator for the section 3 experiments."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        variant: str = "uniform",
+        regionalism: float = 0.4,
+        space: Optional[EventSpace] = None,
+    ) -> None:
+        if variant not in ("uniform", "gaussian"):
+            raise ValueError("variant must be 'uniform' or 'gaussian'")
+        if not 0.0 <= regionalism <= 1.0:
+            raise ValueError("degree of regionalism must be in [0, 1]")
+        self.topology = topology
+        self.variant = variant
+        self.regionalism = regionalism
+        self.space = space or preliminary_space(topology.n_stubs)
+        self._gaussian_dists = tuple(
+            IntervalDistribution(
+                q0=row[0],
+                q1=row[1],
+                q2=row[2],
+                mu1=row[3],
+                sigma1=row[4],
+                mu2=row[5],
+                sigma2=row[6],
+                mu3=row[7],
+                sigma3=row[8],
+                length=ParetoLength(scale=row[9], shape=1.0),
+            )
+            for row in _GAUSSIAN_ROWS
+        )
+
+    def generate(
+        self, rng: np.random.Generator, n_subscriptions: int
+    ) -> SubscriptionSet:
+        """Generate subscriptions placed uniformly over stub nodes."""
+        stub_nodes = self.topology.stub_nodes()
+        subs: List[Subscription] = []
+        for subscriber in range(n_subscriptions):
+            node = int(rng.choice(stub_nodes))
+            sides = [self._regional_side(node, rng)]
+            for attr in range(3):
+                sides.append(self._attribute_side(attr, rng))
+            subs.append(
+                Subscription(subscriber, node, Rectangle(tuple(sides)))
+            )
+        return SubscriptionSet(self.space, subs)
+
+    # ------------------------------------------------------------------
+    def _regional_side(self, node: int, rng: np.random.Generator) -> Interval:
+        if rng.random() < self.regionalism:
+            stub = self.topology.stub_of[node]
+            return Interval.point(float(stub))
+        return Interval.full()
+
+    def _attribute_side(self, attr: int, rng: np.random.Generator) -> Interval:
+        dim = self.space.dimensions[attr + 1]
+        if self.variant == "uniform":
+            if rng.random() >= _UNIFORM_SPECIFIED[attr]:
+                return Interval.full()
+            a, b = rng.integers(dim.lo, dim.hi + 1, size=2)
+            lo, hi = (int(a), int(b)) if a <= b else (int(b), int(a))
+            # the interval [lo, hi] on the lattice is (lo-1, hi] half-open
+            return Interval.make(lo - 1.0, float(hi))
+        return self._gaussian_dists[attr].sample(rng)
+
+
+# ----------------------------------------------------------------------
+# Section 5.1 model
+# ----------------------------------------------------------------------
+class EvaluationSubscriptionModel:
+    """Subscription generator for the section 5.1 stock-market model."""
+
+    #: probabilities of the bst field being Buy / Sell / Transaction
+    BST_PROBS = (0.4, 0.4, 0.2)
+
+    def __init__(
+        self,
+        topology: Topology,
+        block_weights: Sequence[float] = (0.4, 0.3, 0.3),
+        name_means: Sequence[float] = (3.0, 10.0, 17.0),
+        name_sigma: float = 4.0,
+        zipf_exponent: float = 1.0,
+        space: Optional[EventSpace] = None,
+    ) -> None:
+        n_blocks = topology.n_transit_blocks
+        if n_blocks < 1:
+            raise ValueError("topology has no transit blocks")
+        self.topology = topology
+        self.space = space or evaluation_space()
+        self.zipf_exponent = zipf_exponent
+        self.name_sigma = name_sigma
+        if len(block_weights) == n_blocks:
+            weights = np.asarray(block_weights, dtype=np.float64)
+        else:
+            # adapt gracefully to topologies with a different block count
+            weights = np.ones(n_blocks, dtype=np.float64)
+        self.block_weights = weights / weights.sum()
+        if len(name_means) == n_blocks:
+            self.name_means = tuple(float(m) for m in name_means)
+        else:
+            name_dim = self.space.dimensions[1]
+            self.name_means = tuple(
+                name_dim.lo + (i + 1) * (name_dim.hi - name_dim.lo) / (n_blocks + 1)
+                for i in range(n_blocks)
+            )
+        self._quote_dist = IntervalDistribution(
+            q0=0.15, q1=0.1, q2=0.1,
+            mu1=9, sigma1=1, mu2=9, sigma2=1, mu3=9, sigma3=2,
+            length=ParetoLength(scale=4.0, shape=1.0),
+        )
+        self._volume_dist = IntervalDistribution(
+            q0=0.35, q1=0.1, q2=0.1,
+            mu1=9, sigma1=1, mu2=9, sigma2=1, mu3=9, sigma3=2,
+            length=ParetoLength(scale=4.0, shape=1.0),
+        )
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, rng: np.random.Generator, n_subscriptions: int
+    ) -> SubscriptionSet:
+        """Generate subscriptions with the Zipf placement of section 5.1."""
+        nodes = self._place_subscribers(rng, n_subscriptions)
+        subs: List[Subscription] = []
+        for subscriber, node in enumerate(nodes):
+            block = self.topology.transit_block[node]
+            rectangle = Rectangle(
+                (
+                    self._bst_side(rng),
+                    self._name_side(block, rng),
+                    self._quote_dist.sample(rng),
+                    self._volume_dist.sample(rng),
+                )
+            )
+            subs.append(Subscription(subscriber, node, rectangle))
+        return SubscriptionSet(self.space, subs)
+
+    # ------------------------------------------------------------------
+    def _place_subscribers(
+        self, rng: np.random.Generator, n_subscriptions: int
+    ) -> List[int]:
+        """Node of each subscription: blocks -> stubs (Zipf) -> nodes (Zipf)."""
+        per_block = rng.multinomial(n_subscriptions, self.block_weights)
+        nodes: List[int] = []
+        for block, count in enumerate(per_block):
+            stub_ids = self.topology.stubs_in_block(block)
+            if not stub_ids:
+                raise ValueError(f"transit block {block} has no stubs")
+            stub_zipf = ZipfLike(len(stub_ids), self.zipf_exponent)
+            # randomise which stub gets the heavy Zipf head
+            order = rng.permutation(len(stub_ids))
+            per_stub = stub_zipf.split(int(count), rng)
+            for rank, stub_count in enumerate(per_stub):
+                stub = stub_ids[order[rank]]
+                members = self.topology.stubs[stub]
+                node_zipf = ZipfLike(len(members), self.zipf_exponent)
+                node_order = rng.permutation(len(members))
+                for node_rank in node_zipf.sample(rng, size=int(stub_count)):
+                    nodes.append(members[node_order[node_rank]])
+        rng.shuffle(nodes)
+        return nodes
+
+    def _bst_side(self, rng: np.random.Generator) -> Interval:
+        value = int(rng.choice(3, p=self.BST_PROBS))
+        return Interval.point(float(value))
+
+    def _name_side(self, block: int, rng: np.random.Generator) -> Interval:
+        dim = self.space.dimensions[1]
+        center = rng.normal(self.name_means[block], self.name_sigma)
+        length_zipf = ZipfLike(dim.n_cells, self.zipf_exponent)
+        length = 1.0 + float(length_zipf.sample(rng))
+        return Interval.make(center - 0.5 * length, center + 0.5 * length)

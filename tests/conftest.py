@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic topologies, workloads and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Dimension, EventSpace, Interval, Rectangle
+from repro.network import RoutingTables, TransitStubGenerator, TransitStubParams
+from repro.workload import (
+    EvaluationSubscriptionModel,
+    MixturePublicationModel,
+    SubscriptionSet,
+    Subscription,
+    single_mode_mixture,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """A tiny transit-stub configuration (~30 nodes) for fast tests."""
+    return TransitStubParams(
+        n_transit_blocks=3,
+        transit_nodes_per_block=2,
+        stubs_per_transit=1,
+        nodes_per_stub=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_topology(small_params):
+    gen = TransitStubGenerator(small_params, np.random.default_rng(7))
+    return gen.generate()
+
+
+@pytest.fixture(scope="session")
+def small_routing(small_topology):
+    return RoutingTables(small_topology.graph)
+
+
+@pytest.fixture(scope="session")
+def tiny_space():
+    """A 2-d event space small enough to enumerate exhaustively."""
+    return EventSpace([Dimension("x", 0, 4), Dimension("y", 0, 4)])
+
+
+@pytest.fixture(scope="session")
+def small_subscriptions(small_topology):
+    """Deterministic stock-model subscriptions on the small topology."""
+    model = EvaluationSubscriptionModel(small_topology)
+    return model.generate(np.random.default_rng(3), 60)
+
+
+@pytest.fixture(scope="session")
+def small_publications(small_topology, small_subscriptions):
+    return MixturePublicationModel(
+        small_topology, single_mode_mixture(), space=small_subscriptions.space
+    )

@@ -1,0 +1,13 @@
+"""Shared test helpers."""
+
+from repro.geometry import Interval, Rectangle
+from repro.workload import Subscription, SubscriptionSet
+
+
+def make_subscription_set(space, specs):
+    """Build a SubscriptionSet from (node, [(lo, hi), ...]) tuples."""
+    subs = []
+    for subscriber, (node, bounds) in enumerate(specs):
+        rect = Rectangle(tuple(Interval.make(lo, hi) for lo, hi in bounds))
+        subs.append(Subscription(subscriber, node, rect))
+    return SubscriptionSet(space, subs)

@@ -1,0 +1,68 @@
+"""Tests for the command-line runner."""
+
+import pytest
+
+from repro.sim.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.events == 60
+        assert args.seed == 0
+
+    def test_fig7_options(self):
+        args = build_parser().parse_args(
+            ["fig7", "--modes", "4", "--groups", "5,10", "--events", "30"]
+        )
+        assert args.modes == 4
+        assert args.groups == [5, 10]
+        assert args.events == 30
+
+    def test_int_list_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--groups", "a,b"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    """Smoke-run each command at minimal scale and check the output."""
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--events", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "uniform" in out and "gaussian" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "--cells", "60,120", "--events", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans" in out
+        assert "improve%" in out
+
+    def test_fig8(self, capsys):
+        assert (
+            main(
+                [
+                    "fig8",
+                    "--keeps",
+                    "50",
+                    "--iters",
+                    "1",
+                    "--groups",
+                    "5",
+                    "--events",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep=" in out

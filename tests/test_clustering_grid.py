@@ -1,0 +1,325 @@
+"""Unit tests for the grid-based clustering algorithms (sections 4.2-4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ApproximatePairwiseClustering,
+    Clustering,
+    ForgyKMeansClustering,
+    KMeansClustering,
+    MSTClustering,
+    PairwiseGroupingClustering,
+    expected_waste,
+    pairwise_waste_matrix,
+)
+from repro.geometry import Dimension, EventSpace
+from repro.grid import build_cell_set
+
+from tests.helpers import make_subscription_set
+
+ALL_ALGORITHMS = [
+    KMeansClustering,
+    ForgyKMeansClustering,
+    MSTClustering,
+    PairwiseGroupingClustering,
+    ApproximatePairwiseClustering,
+]
+
+
+@pytest.fixture(scope="module")
+def cells():
+    """A deterministic CellSet with clear cluster structure.
+
+    Two 'communities' of subscribers with overlapping rectangles in
+    opposite corners of a 8x8 grid, plus a few loners.
+    """
+    space = EventSpace([Dimension("x", 0, 7), Dimension("y", 0, 7)])
+    specs = []
+    # community A: lower-left corner
+    for k in range(4):
+        specs.append((k, [(-1 + 0.5 * k, 3), (-1, 3 - 0.5 * k)]))
+    # community B: upper-right corner
+    for k in range(4):
+        specs.append((4 + k, [(3 - 0.5 * k, 7), (3, 7 - 0.5 * k)]))
+    # loners
+    specs.append((8, [(-1, 7), (1, 2)]))
+    specs.append((9, [(5, 6), (-1, 7)]))
+    subs = make_subscription_set(space, specs)
+    pmf = np.full(space.n_cells, 1.0 / space.n_cells)
+    return build_cell_set(space, subs, pmf)
+
+
+def brute_total_waste(cells, assignment):
+    total = 0.0
+    for g in np.unique(assignment):
+        members = np.nonzero(assignment == g)[0]
+        union = cells.membership[members].any(axis=0)
+        for cell in members:
+            extra = np.count_nonzero(union & ~cells.membership[cell])
+            total += cells.probs[cell] * extra
+    return total
+
+
+class TestClusteringResult:
+    def test_group_membership_is_union(self, cells):
+        clustering = ForgyKMeansClustering().fit(cells, 3)
+        for g in range(clustering.n_groups):
+            members = clustering.assignment == g
+            expected = cells.membership[members].any(axis=0)
+            np.testing.assert_array_equal(
+                clustering.group_membership[g], expected
+            )
+
+    def test_group_probs_sum(self, cells):
+        clustering = ForgyKMeansClustering().fit(cells, 3)
+        np.testing.assert_allclose(
+            clustering.group_probs.sum(), cells.probs.sum()
+        )
+
+    def test_total_expected_waste_matches_brute(self, cells):
+        clustering = KMeansClustering().fit(cells, 3)
+        assert clustering.total_expected_waste() == pytest.approx(
+            brute_total_waste(cells, clustering.assignment), rel=1e-5
+        )
+
+    def test_group_of_grid_cell(self, cells):
+        clustering = ForgyKMeansClustering().fit(cells, 3)
+        for h, ids in enumerate(cells.cell_ids):
+            for c in ids:
+                assert clustering.group_of_grid_cell(int(c)) == int(
+                    clustering.assignment[h]
+                )
+        # a cell outside any hyper-cell (if any) maps to -1
+        dropped = np.nonzero(cells.hypercell_of_cell < 0)[0]
+        if len(dropped):
+            assert clustering.group_of_grid_cell(int(dropped[0])) == -1
+
+    def test_empty_group_rejected(self, cells):
+        bad = np.zeros(len(cells), dtype=int)
+        bad[0] = 2  # group 1 empty
+        with pytest.raises(ValueError):
+            Clustering(cells, bad)
+
+    def test_unassigned_cell_rejected(self, cells):
+        bad = np.zeros(len(cells), dtype=int)
+        bad[0] = -1
+        with pytest.raises(ValueError):
+            Clustering(cells, bad)
+
+
+@pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS)
+class TestCommonInvariants:
+    def fit(self, algorithm_cls, cells, k):
+        return algorithm_cls().fit(cells, k, rng=np.random.default_rng(0))
+
+    def test_partition_is_valid(self, algorithm_cls, cells):
+        clustering = self.fit(algorithm_cls, cells, 4)
+        assert clustering.assignment.shape == (len(cells),)
+        assert clustering.n_groups <= 4
+        counts = np.bincount(clustering.assignment)
+        assert (counts > 0).all()
+
+    def test_respects_group_budget(self, algorithm_cls, cells):
+        for k in (1, 2, 5):
+            clustering = self.fit(algorithm_cls, cells, k)
+            assert clustering.n_groups <= k
+
+    def test_k_one_merges_everything(self, algorithm_cls, cells):
+        clustering = self.fit(algorithm_cls, cells, 1)
+        assert clustering.n_groups == 1
+        np.testing.assert_array_equal(
+            clustering.group_membership[0],
+            cells.membership.any(axis=0),
+        )
+
+    def test_k_geq_cells_gives_singletons(self, algorithm_cls, cells):
+        clustering = self.fit(algorithm_cls, cells, len(cells) + 5)
+        assert clustering.n_groups == len(cells)
+        assert clustering.total_expected_waste() == pytest.approx(0.0)
+
+    def test_better_than_random_partition(self, algorithm_cls, cells):
+        """Every algorithm beats the average random partition (MST's
+        single-linkage chaining can lose to a *lucky* random draw, so the
+        bar is the mean, not the minimum)."""
+        clustering = self.fit(algorithm_cls, cells, 3)
+        rng = np.random.default_rng(99)
+        random_wastes = []
+        for _ in range(20):
+            random_assignment = rng.integers(0, 3, size=len(cells))
+            # ensure all three groups occupied
+            random_assignment[:3] = [0, 1, 2]
+            random_wastes.append(brute_total_waste(cells, random_assignment))
+        assert clustering.total_expected_waste() <= np.mean(random_wastes) + 1e-9
+
+    def test_invalid_inputs(self, algorithm_cls, cells):
+        with pytest.raises(ValueError):
+            algorithm_cls().fit(cells, 0)
+
+
+class TestKMeansSpecifics:
+    def test_macqueen_records_iterations(self, cells):
+        algo = KMeansClustering(max_iters=50)
+        algo.fit(cells, 3)
+        assert 1 <= algo.n_iterations_ <= 50
+
+    def test_forgy_records_iterations(self, cells):
+        algo = ForgyKMeansClustering(max_iters=50)
+        algo.fit(cells, 3)
+        assert 1 <= algo.n_iterations_ <= 50
+
+    def test_single_iteration_still_valid(self, cells):
+        clustering = ForgyKMeansClustering(max_iters=1).fit(cells, 3)
+        assert clustering.n_groups <= 3
+
+    def test_iterating_does_not_hurt(self, cells):
+        """More iterations never worsen the Forgy objective (monotone
+        descent of batch K-means on this objective is expected here)."""
+        w1 = ForgyKMeansClustering(max_iters=1).fit(cells, 3).total_expected_waste()
+        w10 = ForgyKMeansClustering(max_iters=20).fit(cells, 3).total_expected_waste()
+        assert w10 <= w1 + 1e-9
+
+    def test_max_iters_validation(self):
+        with pytest.raises(ValueError):
+            KMeansClustering(max_iters=0)
+
+    def test_kmeans_and_forgy_similar_quality(self, cells):
+        wk = KMeansClustering().fit(cells, 3).total_expected_waste()
+        wf = ForgyKMeansClustering().fit(cells, 3).total_expected_waste()
+        # the paper observes near-identical performance
+        assert wk == pytest.approx(wf, rel=0.5, abs=1e-3)
+
+
+class TestMSTSpecifics:
+    def test_matches_single_linkage_oracle(self, cells):
+        """Stopping Kruskal at K components == cutting the K-1 heaviest
+        edges of the MST of the complete waste-distance graph."""
+        import networkx as nx
+
+        k = 3
+        distances = pairwise_waste_matrix(cells.membership, cells.probs)
+        g = nx.Graph()
+        m = len(cells)
+        for i in range(m):
+            for j in range(i + 1, m):
+                g.add_edge(i, j, weight=float(distances[i, j]))
+        tree = nx.minimum_spanning_tree(g)
+        edges = sorted(
+            tree.edges(data="weight"), key=lambda e: e[2], reverse=True
+        )
+        for u, v, _ in edges[: k - 1]:
+            tree.remove_edge(u, v)
+        oracle_components = list(nx.connected_components(tree))
+
+        clustering = MSTClustering().fit(cells, k)
+        ours = {}
+        for cell, group in enumerate(clustering.assignment):
+            ours.setdefault(int(group), set()).add(cell)
+        # same partition (note: ties in edge weights could differ, but the
+        # waste distances here are distinct)
+        assert sorted(map(sorted, ours.values())) == sorted(
+            map(sorted, oracle_components)
+        )
+
+    def test_hierarchical_nesting(self, cells):
+        """MST clusterings are nested: the K=2 partition refines K=1,
+        K=4 refines K=2, etc. (the paper's 'monotone improvement')."""
+        prev = MSTClustering().fit(cells, 2)
+        for k in (3, 4, 5):
+            nxt = MSTClustering().fit(cells, k)
+            # every new group must be inside a single old group
+            for g in range(nxt.n_groups):
+                members = np.nonzero(nxt.assignment == g)[0]
+                parents = {int(prev.assignment[c]) for c in members}
+                assert len(parents) == 1
+            prev = nxt
+
+
+class TestPairwiseSpecifics:
+    def test_matches_brute_force_greedy(self, cells):
+        """The implementation reproduces a straightforward reimplementation
+        of greedy minimum-distance agglomeration."""
+        k = 3
+        groups = [{i} for i in range(len(cells))]
+        membership = [cells.membership[i].copy() for i in range(len(cells))]
+        probs = list(cells.probs)
+        active = list(range(len(cells)))
+        while len(active) > k:
+            best = None
+            for ai in range(len(active)):
+                for aj in range(ai + 1, len(active)):
+                    i, j = active[ai], active[aj]
+                    d = expected_waste(
+                        membership[i], probs[i], membership[j], probs[j]
+                    )
+                    if best is None or d < best[0] - 1e-12:
+                        best = (d, i, j)
+            _, i, j = best
+            groups[i] |= groups[j]
+            membership[i] = membership[i] | membership[j]
+            probs[i] += probs[j]
+            active.remove(j)
+        oracle = sorted(sorted(g) for g in (groups[i] for i in active))
+
+        clustering = PairwiseGroupingClustering().fit(cells, k)
+        ours = {}
+        for cell, group in enumerate(clustering.assignment):
+            ours.setdefault(int(group), []).append(cell)
+        assert sorted(sorted(g) for g in ours.values()) == oracle
+
+    def test_approximate_close_to_exact(self, cells):
+        exact = PairwiseGroupingClustering().fit(cells, 3)
+        approx = ApproximatePairwiseClustering().fit(
+            cells, 3, rng=np.random.default_rng(1)
+        )
+        # quality within a factor of the exact greedy result
+        assert approx.total_expected_waste() <= max(
+            4.0 * exact.total_expected_waste(), 1e-6
+        )
+
+    def test_approx_params_validated(self):
+        with pytest.raises(ValueError):
+            ApproximatePairwiseClustering(chunk_size=0)
+        with pytest.raises(ValueError):
+            ApproximatePairwiseClustering(observe_cap=0)
+
+
+class TestWarmStart:
+    """Warm-started K-means supports the paper's subscription dynamics."""
+
+    def test_warm_start_preserved_when_optimal(self, cells):
+        base = ForgyKMeansClustering().fit(cells, 3)
+        warm = ForgyKMeansClustering(
+            initial_assignment=base.assignment
+        ).fit(cells, 3)
+        # restarting from a converged partition does not degrade it
+        assert warm.total_expected_waste() <= base.total_expected_waste() + 1e-9
+
+    def test_warm_start_macqueen(self, cells):
+        base = KMeansClustering().fit(cells, 3)
+        algo = KMeansClustering(initial_assignment=base.assignment, max_iters=5)
+        warm = algo.fit(cells, 3)
+        assert warm.total_expected_waste() <= base.total_expected_waste() + 1e-9
+        assert algo.n_iterations_ <= 5
+
+    def test_warm_start_with_fewer_groups(self, cells):
+        """A warm partition with fewer groups keeps its group count."""
+        two_groups = np.zeros(len(cells), dtype=np.int64)
+        two_groups[len(cells) // 2 :] = 1
+        warm = ForgyKMeansClustering(initial_assignment=two_groups).fit(
+            cells, 5
+        )
+        assert warm.n_groups == 2
+
+    def test_warm_start_validation(self, cells):
+        with pytest.raises(ValueError):
+            ForgyKMeansClustering(
+                initial_assignment=np.zeros(3, dtype=int)
+            ).fit(cells, 3)
+        bad = np.zeros(len(cells), dtype=int)
+        bad[0] = -2
+        with pytest.raises(ValueError):
+            ForgyKMeansClustering(initial_assignment=bad).fit(cells, 3)
+        too_many = np.arange(len(cells)) % 7
+        with pytest.raises(ValueError):
+            ForgyKMeansClustering(initial_assignment=too_many).fit(cells, 3)

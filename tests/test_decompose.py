@@ -1,0 +1,121 @@
+"""Tests for multi-range subscription decomposition (section 1)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Dimension, EventSpace, Interval
+from repro.workload import (
+    MultiRangeSubscription,
+    SubscriptionSet,
+    decompose,
+    decompose_all,
+)
+
+
+def multi(subscriber=0, node=0, ranges=None):
+    return MultiRangeSubscription(
+        subscriber=subscriber,
+        node=node,
+        ranges=tuple(tuple(r) for r in ranges),
+    )
+
+
+class TestMultiRangeSubscription:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi(ranges=[])
+        with pytest.raises(ValueError):
+            multi(ranges=[[]])
+
+    def test_contains_union_semantics(self):
+        sub = multi(
+            ranges=[
+                [Interval.make(0, 2), Interval.make(5, 7)],
+                [Interval.make(0, 10)],
+            ]
+        )
+        assert sub.contains((1, 5))
+        assert sub.contains((6, 5))
+        assert not sub.contains((3, 5))  # gap between the ranges
+        assert not sub.contains((1, 11))
+
+    def test_n_rectangles(self):
+        sub = multi(
+            ranges=[
+                [Interval.make(0, 1), Interval.make(2, 3)],
+                [Interval.make(0, 1), Interval.make(2, 3), Interval.make(4, 5)],
+            ]
+        )
+        assert sub.n_rectangles() == 6
+
+
+class TestDecompose:
+    def test_cross_product(self):
+        sub = multi(
+            ranges=[
+                [Interval.make(0, 2), Interval.make(5, 7)],
+                [Interval.make(0, 3)],
+            ]
+        )
+        rects = decompose(sub)
+        assert len(rects) == 2
+        assert all(r.subscriber == 0 and r.node == 0 for r in rects)
+
+    def test_equivalence_of_membership(self):
+        """The decomposed set matches exactly the points the original
+        multi-range subscription accepts."""
+        sub = multi(
+            ranges=[
+                [Interval.make(-1, 2), Interval.make(4, 6)],
+                [Interval.make(-1, 3), Interval.make(5, 8)],
+            ]
+        )
+        rects = decompose(sub)
+        for x in np.arange(-1.5, 9, 0.5):
+            for y in np.arange(-1.5, 9, 0.5):
+                point = (float(x), float(y))
+                direct = sub.contains(point)
+                via_rects = any(r.rectangle.contains(point) for r in rects)
+                assert direct == via_rects, point
+
+    def test_overlapping_intervals_merged(self):
+        sub = multi(
+            ranges=[
+                [Interval.make(0, 5), Interval.make(3, 8)],  # overlap
+                [Interval.make(0, 2), Interval.make(2, 4)],  # touching
+            ]
+        )
+        rects = decompose(sub)
+        # both dimensions canonicalise to a single interval
+        assert len(rects) == 1
+        assert rects[0].rectangle.sides[0] == Interval.make(0, 8)
+        assert rects[0].rectangle.sides[1] == Interval.make(0, 4)
+
+    def test_empty_union_rejected(self):
+        sub = multi(ranges=[[Interval.empty()], [Interval.make(0, 1)]])
+        with pytest.raises(ValueError):
+            decompose(sub)
+
+    def test_decompose_all_feeds_subscription_set(self):
+        """Decomposed multi-range subscriptions integrate with the
+        standard pipeline: one subscriber, several rectangles."""
+        space = EventSpace([Dimension("x", 0, 9), Dimension("y", 0, 9)])
+        blue_chip = multi(
+            subscriber=0,
+            node=3,
+            ranges=[
+                [Interval.make(0, 2), Interval.make(6, 8)],
+                [Interval.make(-1, 9)],
+            ],
+        )
+        other = multi(
+            subscriber=1,
+            node=4,
+            ranges=[[Interval.make(3, 5)], [Interval.make(3, 5)]],
+        )
+        subs = SubscriptionSet(space, decompose_all([blue_chip, other]))
+        assert subs.n_subscribers == 2
+        assert len(subs) == 3  # 2 rectangles + 1
+        assert list(subs.interested_subscribers((1, 5))) == [0]
+        assert list(subs.interested_subscribers((7, 5))) == [0]
+        assert list(subs.interested_subscribers((4, 4))) == [1]

@@ -1,0 +1,105 @@
+"""Tests for the precomputed directory matcher."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ForgyKMeansClustering
+from repro.geometry import Dimension, EventSpace
+from repro.grid import build_cell_set, build_membership_matrix
+from repro.matching import DirectoryMatcher, GridMatcher
+
+from tests.helpers import make_subscription_set
+
+
+@pytest.fixture(scope="module")
+def setup():
+    space = EventSpace([Dimension("x", 0, 7), Dimension("y", 0, 7)])
+    subs = make_subscription_set(
+        space,
+        [
+            (0, [(-1, 3), (-1, 3)]),
+            (1, [(0, 4), (0, 4)]),
+            (2, [(3, 7), (3, 7)]),
+            (3, [(-1, 7), (2, 5)]),
+            (4, [(5, 7), (-1, 2)]),
+        ],
+    )
+    pmf = np.full(space.n_cells, 1.0 / space.n_cells)
+    cells = build_cell_set(space, subs, pmf)
+    clustering = ForgyKMeansClustering().fit(cells, 3)
+    return space, subs, clustering
+
+
+class TestEquivalenceWithGridMatcher:
+    @pytest.mark.parametrize("threshold", [0.0, 0.3, 0.8])
+    def test_identical_plans_on_lattice(self, setup, threshold):
+        space, subs, clustering = setup
+        grid = GridMatcher(clustering, subs, threshold=threshold)
+        directory = DirectoryMatcher(clustering, subs, threshold=threshold)
+        for cell in range(space.n_cells):
+            point = space.cell_value(cell)
+            a, b = grid.match(point), directory.match(point)
+            np.testing.assert_array_equal(
+                np.sort(a.interested), np.sort(b.interested)
+            )
+            assert a.group_ids == b.group_ids
+            np.testing.assert_array_equal(
+                np.sort(a.unicast_subscribers),
+                np.sort(b.unicast_subscribers),
+            )
+
+    def test_off_lattice_fallback(self, setup):
+        space, subs, clustering = setup
+        directory = DirectoryMatcher(clustering, subs)
+        plan = directory.match((-10.0, -10.0))
+        assert len(plan.interested) == 0
+        plan.validate_complete()
+
+    def test_plans_complete(self, setup):
+        space, subs, clustering = setup
+        directory = DirectoryMatcher(clustering, subs)
+        for cell in range(space.n_cells):
+            directory.match(space.cell_value(cell)).validate_complete()
+
+
+class TestConstruction:
+    def test_accepts_precomputed_membership(self, setup):
+        space, subs, clustering = setup
+        membership = build_membership_matrix(space, subs)
+        matcher = DirectoryMatcher(
+            clustering, subs, membership=membership
+        )
+        assert matcher.directory_bytes == membership.nbytes
+
+    def test_shape_validated(self, setup):
+        space, subs, clustering = setup
+        with pytest.raises(ValueError):
+            DirectoryMatcher(
+                clustering, subs, membership=np.zeros((3, 3), dtype=bool)
+            )
+
+    def test_threshold_validated(self, setup):
+        space, subs, clustering = setup
+        with pytest.raises(ValueError):
+            DirectoryMatcher(clustering, subs, threshold=2.0)
+
+    def test_faster_than_grid_matcher(self, setup):
+        """The directory's point: strictly fewer per-event operations.
+        Measured loosely to avoid timing flakiness — directory matching
+        must not be slower than 3x grid matching."""
+        import time
+
+        space, subs, clustering = setup
+        grid = GridMatcher(clustering, subs)
+        directory = DirectoryMatcher(clustering, subs)
+        points = [space.cell_value(c) for c in range(space.n_cells)] * 20
+
+        start = time.perf_counter()
+        for p in points:
+            grid.match(p)
+        grid_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for p in points:
+            directory.match(p)
+        directory_time = time.perf_counter() - start
+        assert directory_time < 3 * grid_time

@@ -1,0 +1,155 @@
+"""Unit tests for the delivery dispatcher and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.delivery import SCHEMES, Dispatcher
+from repro.geometry import Dimension, EventSpace
+from repro.matching import DeliveryPlan
+from repro.network import (
+    Graph,
+    RoutingTables,
+    application_multicast_cost,
+    dense_multicast_cost,
+    unicast_cost,
+)
+
+from tests.helpers import make_subscription_set
+
+
+@pytest.fixture
+def line_setup():
+    """Path network 0-1-2-3 with one subscriber per node 1..3."""
+    g = Graph(4)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 2.0)
+    g.add_edge(2, 3, 4.0)
+    routing = RoutingTables(g)
+    space = EventSpace([Dimension("x", 0, 9)])
+    subs = make_subscription_set(
+        space,
+        [
+            (1, [(-1, 9)]),
+            (2, [(-1, 9)]),
+            (3, [(-1, 9)]),
+        ],
+    )
+    return routing, subs
+
+
+class TestPlanCost:
+    def test_pure_unicast_plan(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        plan = DeliveryPlan(
+            interested=np.array([0, 1, 2]),
+            unicast_subscribers=np.array([0, 1, 2]),
+        )
+        # nodes 1,2,3 at distances 1,3,7
+        assert dispatcher.plan_cost(0, plan) == pytest.approx(11.0)
+
+    def test_pure_multicast_plan_dense(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        plan = DeliveryPlan(
+            interested=np.array([0, 1, 2]),
+            group_ids=[0],
+            group_members=[np.array([0, 1, 2])],
+        )
+        # SPT edges 0-1,1-2,2-3 once each
+        assert dispatcher.plan_cost(0, plan) == pytest.approx(7.0)
+
+    def test_multicast_plus_unicast(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        plan = DeliveryPlan(
+            interested=np.array([0, 2]),
+            group_ids=[0],
+            group_members=[np.array([0])],  # node 1
+            unicast_subscribers=np.array([2]),  # node 3
+        )
+        assert dispatcher.plan_cost(0, plan) == pytest.approx(1.0 + 7.0)
+
+    def test_unicast_deduped_against_multicast_coverage(self, line_setup):
+        """A node already covered by a group gets no extra unicast copy."""
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        plan = DeliveryPlan(
+            interested=np.array([0, 1]),
+            group_ids=[0],
+            group_members=[np.array([0, 1])],  # nodes 1, 2
+            unicast_subscribers=np.array([1]),  # node 2: already covered
+        )
+        assert dispatcher.plan_cost(0, plan) == pytest.approx(3.0)
+
+    def test_alm_scheme_uses_overlay(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "alm")
+        members = np.array([0, 1, 2])
+        plan = DeliveryPlan(
+            interested=members, group_ids=[0], group_members=[members]
+        )
+        expected = application_multicast_cost(routing, 0, [1, 2, 3])
+        assert dispatcher.plan_cost(0, plan) == pytest.approx(expected)
+
+    def test_alm_never_cheaper_than_dense(self, line_setup):
+        routing, subs = line_setup
+        members = np.array([0, 2])
+        plan = DeliveryPlan(
+            interested=members, group_ids=[0], group_members=[members]
+        )
+        dense = Dispatcher(routing, subs, "dense").plan_cost(0, plan)
+        alm = Dispatcher(routing, subs, "alm").plan_cost(0, plan)
+        assert alm >= dense - 1e-9
+
+    def test_invalid_scheme(self, line_setup):
+        routing, subs = line_setup
+        with pytest.raises(ValueError):
+            Dispatcher(routing, subs, "smoke-signals")
+
+
+class TestReferenceSchemes:
+    def test_unicast_reference(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        assert dispatcher.unicast_reference(0, [0, 1, 2]) == pytest.approx(11.0)
+        assert dispatcher.unicast_reference(0, []) == 0.0
+
+    def test_broadcast_reference_constant_in_interest(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        assert dispatcher.broadcast_reference(0) == pytest.approx(7.0)
+
+    def test_ideal_reference_dense(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        expected = dense_multicast_cost(routing, 0, [1, 3])
+        assert dispatcher.ideal_reference(0, [0, 2]) == pytest.approx(expected)
+
+    def test_ideal_reference_alm(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "alm")
+        expected = application_multicast_cost(routing, 0, [1, 3])
+        assert dispatcher.ideal_reference(0, [0, 2]) == pytest.approx(expected)
+
+    def test_ideal_no_interest_is_free(self, line_setup):
+        routing, subs = line_setup
+        for scheme in SCHEMES:
+            dispatcher = Dispatcher(routing, subs, scheme)
+            assert dispatcher.ideal_reference(0, []) == 0.0
+
+    def test_ordering_invariant(self, line_setup):
+        """ideal <= plan cost <= unicast holds for complete single-group
+        plans covering exactly the interested subscribers."""
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        interested = np.array([0, 1, 2])
+        plan = DeliveryPlan(
+            interested=interested,
+            group_ids=[0],
+            group_members=[interested],
+        )
+        ideal = dispatcher.ideal_reference(0, interested)
+        uni = dispatcher.unicast_reference(0, interested)
+        cost = dispatcher.plan_cost(0, plan)
+        assert ideal - 1e-9 <= cost <= uni + 1e-9

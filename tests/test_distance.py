@@ -1,0 +1,138 @@
+"""Unit tests for the expected-waste distance kernels (section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    expected_waste,
+    pairwise_waste_matrix,
+    squared_euclidean_matrix,
+    waste_to_clusters,
+)
+
+
+def brute_waste(sa, pa, sb, pb):
+    """Reference implementation: d = pa*|sb \\ sa| + pb*|sa \\ sb|."""
+    sa, sb = set(np.nonzero(sa)[0]), set(np.nonzero(sb)[0])
+    return pa * len(sb - sa) + pb * len(sa - sb)
+
+
+@pytest.fixture
+def membership(rng):
+    return rng.random((12, 20)) < 0.3
+
+
+@pytest.fixture
+def probs(rng):
+    return rng.random(12) * 0.1
+
+
+class TestExpectedWaste:
+    def test_identical_cells_zero(self):
+        s = np.array([1, 0, 1, 1], dtype=bool)
+        assert expected_waste(s, 0.5, s, 0.3) == 0.0
+
+    def test_disjoint_cells(self):
+        a = np.array([1, 1, 0, 0], dtype=bool)
+        b = np.array([0, 0, 1, 1], dtype=bool)
+        # events in a wasted on b's 2 members, and vice versa
+        assert expected_waste(a, 0.5, b, 0.25) == 0.5 * 2 + 0.25 * 2
+
+    def test_subset_cells(self):
+        a = np.array([1, 1, 1, 0], dtype=bool)
+        b = np.array([1, 1, 0, 0], dtype=bool)
+        # events in a waste nothing extra on b's members (subset);
+        # events in b are wasted on a's one extra member
+        assert expected_waste(a, 0.5, b, 0.25) == 0.25 * 1
+
+    def test_symmetry(self, membership, probs):
+        for i in range(4):
+            for j in range(4):
+                d_ij = expected_waste(
+                    membership[i], probs[i], membership[j], probs[j]
+                )
+                d_ji = expected_waste(
+                    membership[j], probs[j], membership[i], probs[i]
+                )
+                assert d_ij == pytest.approx(d_ji)
+
+    def test_matches_brute_force(self, membership, probs):
+        for i in range(6):
+            for j in range(6):
+                assert expected_waste(
+                    membership[i], probs[i], membership[j], probs[j]
+                ) == pytest.approx(
+                    brute_waste(membership[i], probs[i], membership[j], probs[j])
+                )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_waste(np.ones(3, bool), 1.0, np.ones(4, bool), 1.0)
+
+
+class TestPairwiseMatrix:
+    def test_matches_scalar_kernel(self, membership, probs):
+        matrix = pairwise_waste_matrix(membership, probs)
+        for i in range(len(membership)):
+            for j in range(len(membership)):
+                if i == j:
+                    assert matrix[i, j] == 0.0
+                else:
+                    expected = expected_waste(
+                        membership[i], probs[i], membership[j], probs[j]
+                    )
+                    assert matrix[i, j] == pytest.approx(expected, rel=1e-5)
+
+    def test_symmetric(self, membership, probs):
+        matrix = pairwise_waste_matrix(membership, probs)
+        np.testing.assert_allclose(matrix, matrix.T, rtol=1e-6)
+
+    def test_nonnegative(self, membership, probs):
+        assert (pairwise_waste_matrix(membership, probs) >= 0).all()
+
+    def test_shape_validation(self, membership):
+        with pytest.raises(ValueError):
+            pairwise_waste_matrix(membership, np.ones(3))
+
+
+class TestWasteToClusters:
+    def test_matches_scalar_kernel(self, membership, probs, rng):
+        cluster_membership = rng.random((4, 20)) < 0.5
+        cluster_probs = rng.random(4)
+        matrix = waste_to_clusters(
+            membership, probs, cluster_membership, cluster_probs
+        )
+        assert matrix.shape == (12, 4)
+        for i in range(12):
+            for g in range(4):
+                expected = expected_waste(
+                    membership[i],
+                    probs[i],
+                    cluster_membership[g],
+                    cluster_probs[g],
+                )
+                assert matrix[i, g] == pytest.approx(expected, rel=1e-5)
+
+    def test_cell_in_own_singleton_cluster_zero(self, membership, probs):
+        matrix = waste_to_clusters(membership, probs, membership, probs)
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-9)
+
+
+class TestSquaredEuclidean:
+    def test_xor_semantics(self):
+        m = np.array([[1, 1, 0, 0], [1, 0, 1, 0]], dtype=bool)
+        matrix = squared_euclidean_matrix(m)
+        assert matrix[0, 1] == 2.0  # bits 1 and 2 differ
+        assert matrix[0, 0] == 0.0
+
+    def test_is_hamming_distance(self, membership):
+        matrix = squared_euclidean_matrix(membership)
+        for i in range(5):
+            for j in range(5):
+                expected = np.count_nonzero(membership[i] ^ membership[j])
+                assert matrix[i, j] == pytest.approx(expected)
+
+    def test_probability_free(self, membership, probs):
+        """Unlike expected waste, d_e^2 ignores publication densities."""
+        base = squared_euclidean_matrix(membership)
+        np.testing.assert_allclose(base, squared_euclidean_matrix(membership))

@@ -1,0 +1,152 @@
+"""Unit tests for the transit-stub topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.network import TransitStubGenerator, TransitStubParams
+
+
+class TestParams:
+    def test_preliminary_table(self):
+        p100 = TransitStubParams.preliminary(100)
+        assert (
+            p100.transit_nodes_per_block,
+            p100.stubs_per_transit,
+            p100.nodes_per_stub,
+        ) == (4, 3, 8)
+        p300 = TransitStubParams.preliminary(300)
+        assert (
+            p300.transit_nodes_per_block,
+            p300.stubs_per_transit,
+            p300.nodes_per_stub,
+        ) == (5, 3, 20)
+        p600 = TransitStubParams.preliminary(600)
+        assert (
+            p600.transit_nodes_per_block,
+            p600.stubs_per_transit,
+            p600.nodes_per_stub,
+        ) == (4, 3, 50)
+
+    def test_preliminary_unknown_size(self):
+        with pytest.raises(ValueError):
+            TransitStubParams.preliminary(1234)
+
+    def test_evaluation_params(self):
+        p = TransitStubParams.evaluation()
+        assert p.n_transit_blocks == 3
+        assert p.transit_nodes_per_block == 5
+        assert p.stubs_per_transit == 2
+        assert p.nodes_per_stub == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransitStubParams(n_transit_blocks=0)
+        with pytest.raises(ValueError):
+            TransitStubParams(nodes_per_stub=0)
+        with pytest.raises(ValueError):
+            TransitStubParams(extra_edge_prob=1.5)
+
+
+class TestGeneratedTopology:
+    def test_node_counts_preliminary(self):
+        """Expected node counts: transit + stubs (no jitter => exact)."""
+        for n_nodes in (100, 300, 600):
+            params = TransitStubParams.preliminary(n_nodes)
+            topo = TransitStubGenerator(
+                params, np.random.default_rng(0)
+            ).generate()
+            expected = (
+                params.n_transit_blocks
+                * params.transit_nodes_per_block
+                * (1 + params.stubs_per_transit * params.nodes_per_stub)
+            )
+            assert topo.n_nodes == expected
+            # within ~15% of the nominal size the paper quotes
+            assert abs(topo.n_nodes - n_nodes) / n_nodes < 0.15
+
+    def test_connected(self, small_topology):
+        assert small_topology.graph.is_connected()
+
+    def test_roles_partition_nodes(self, small_topology):
+        stub_nodes = set(small_topology.stub_nodes())
+        transit = set(small_topology.transit_nodes)
+        assert stub_nodes.isdisjoint(transit)
+        assert stub_nodes | transit == set(range(small_topology.n_nodes))
+
+    def test_stub_membership_consistent(self, small_topology):
+        for stub_id, members in enumerate(small_topology.stubs):
+            assert members, "empty stub"
+            for node in members:
+                assert small_topology.stub_of[node] == stub_id
+
+    def test_stub_block_consistent(self, small_topology):
+        for stub_id, members in enumerate(small_topology.stubs):
+            block = small_topology.stub_block[stub_id]
+            for node in members:
+                assert small_topology.transit_block[node] == block
+
+    def test_stubs_in_block(self, small_topology):
+        all_stubs = []
+        for block in range(small_topology.n_transit_blocks):
+            all_stubs.extend(small_topology.stubs_in_block(block))
+        assert sorted(all_stubs) == list(range(small_topology.n_stubs))
+
+    def test_edge_costs_positive(self, small_topology):
+        for _, _, cost in small_topology.graph.edges():
+            assert cost > 0
+
+    def test_deterministic_given_seed(self, small_params):
+        t1 = TransitStubGenerator(
+            small_params, np.random.default_rng(42)
+        ).generate()
+        t2 = TransitStubGenerator(
+            small_params, np.random.default_rng(42)
+        ).generate()
+        assert t1.n_nodes == t2.n_nodes
+        assert sorted(t1.graph.edges()) == sorted(t2.graph.edges())
+
+    def test_different_seeds_differ(self, small_params):
+        t1 = TransitStubGenerator(
+            small_params, np.random.default_rng(1)
+        ).generate()
+        t2 = TransitStubGenerator(
+            small_params, np.random.default_rng(2)
+        ).generate()
+        assert sorted(t1.graph.edges()) != sorted(t2.graph.edges())
+
+    def test_jitter_changes_sizes(self):
+        params = TransitStubParams(
+            n_transit_blocks=2,
+            transit_nodes_per_block=3,
+            stubs_per_transit=2,
+            nodes_per_stub=5,
+            jitter=2,
+        )
+        sizes = {
+            TransitStubGenerator(params, np.random.default_rng(s))
+            .generate()
+            .n_nodes
+            for s in range(8)
+        }
+        assert len(sizes) > 1
+
+    def test_validate_passes(self, small_topology):
+        small_topology.validate()
+
+    def test_backbone_links_are_expensive(self, small_topology):
+        """Inter-block edges should cost more than intra-stub ones, like
+        GT-ITM's policy weights."""
+        graph = small_topology.graph
+        intra_stub = []
+        inter_block = []
+        for u, v, cost in graph.edges():
+            bu = small_topology.transit_block[u]
+            bv = small_topology.transit_block[v]
+            su = small_topology.stub_of[u]
+            sv = small_topology.stub_of[v]
+            if su >= 0 and su == sv:
+                intra_stub.append(cost)
+            elif bu != bv:
+                inter_block.append(cost)
+        assert intra_stub and inter_block
+        assert max(intra_stub) < min(inter_block)

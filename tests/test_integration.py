@@ -1,0 +1,137 @@
+"""End-to-end integration tests on a realistic (paper-style) network.
+
+These reproduce the paper's headline *shapes* on reduced sample sizes:
+positive multicast improvement on a large network, the algorithm
+ranking, the regionalism effect and the uniform/gaussian effect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    ExperimentContext,
+    TableRowSpec,
+    build_evaluation_scenario,
+    build_preliminary_scenario,
+    run_table_row,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    """The section 5.1 setting: ~600 nodes, 1000 subscriptions."""
+    scenario = build_evaluation_scenario(modes=1, n_subscriptions=1000, seed=0)
+    return ExperimentContext(scenario, n_events=80)
+
+
+class TestEvaluationShapes:
+    def test_unicast_far_above_ideal(self, ctx):
+        unicast, broadcast, ideal = ctx.reference_costs("dense")
+        assert unicast > 2 * ideal
+        assert broadcast > ideal
+
+    def test_forgy_positive_improvement(self, ctx):
+        result = ctx.run_grid_algorithm("forgy", 60, max_cells=2000)[0]
+        assert result.improvement > 20.0
+
+    def test_kmeans_positive_improvement(self, ctx):
+        result = ctx.run_grid_algorithm("kmeans", 60, max_cells=2000)[0]
+        assert result.improvement > 20.0
+
+    def test_iterative_beats_mst(self, ctx):
+        """The paper: hierarchical clustering (MST) performs worse than
+        iterative clustering (K-means/Forgy)."""
+        forgy = ctx.run_grid_algorithm("forgy", 60, max_cells=4000)[0]
+        mst = ctx.run_grid_algorithm("mst", 60, max_cells=4000)[0]
+        assert forgy.improvement > mst.improvement
+
+    def test_improvement_grows_with_groups(self, ctx):
+        """More multicast groups => better improvement (Figure 7 trend)."""
+        few = ctx.run_grid_algorithm("forgy", 5, max_cells=1000)[0]
+        many = ctx.run_grid_algorithm("forgy", 80, max_cells=1000)[0]
+        assert many.improvement > few.improvement
+
+    def test_alm_worse_but_same_ranking(self, ctx):
+        """Application-level multicast costs slightly more, but the
+        algorithm that wins under dense multicast still wins."""
+        forgy = ctx.run_grid_algorithm(
+            "forgy", 60, max_cells=4000, schemes=("dense", "alm")
+        )
+        mst = ctx.run_grid_algorithm(
+            "mst", 60, max_cells=4000, schemes=("dense", "alm")
+        )
+        assert forgy[1].summary.achieved >= forgy[0].summary.achieved - 1e-6
+        assert forgy[0].improvement > mst[0].improvement
+        assert forgy[1].improvement > mst[1].improvement
+
+    def test_noloss_zero_waste_but_weaker(self, ctx):
+        """No-Loss never wastes a delivery yet achieves less improvement
+        than the grid-based algorithms (the paper's conclusion)."""
+        noloss = ctx.run_noloss(60, n_keep=1000, iterations=3)[0]
+        forgy = ctx.run_grid_algorithm("forgy", 60, max_cells=1000)[0]
+        assert noloss.summary.wasted_deliveries == 0.0
+        assert noloss.improvement >= 0.0
+        assert forgy.improvement > noloss.improvement
+
+    def test_more_cells_help_coverage(self, ctx):
+        """Feeding more hyper-cells raises improvement (Figure 10 trend
+        at the scales where coverage dominates)."""
+        small = ctx.run_grid_algorithm("forgy", 60, max_cells=300)[0]
+        large = ctx.run_grid_algorithm("forgy", 60, max_cells=3000)[0]
+        assert large.improvement > small.improvement
+
+
+class TestPreliminaryShapes:
+    def test_regionalism_lowers_costs(self):
+        """Table 1 vs Table 2: regional subscriptions make unicast and
+        ideal multicast cheaper."""
+        spec = TableRowSpec(100, 1000, "uniform")
+        regional = run_table_row(spec, regionalism=0.4, n_events=60, seed=3)
+        flat = run_table_row(spec, regionalism=0.0, n_events=60, seed=3)
+        assert regional["unicast"] < flat["unicast"]
+        assert regional["ideal"] < flat["ideal"]
+
+    def test_gaussian_costs_more_than_uniform(self):
+        """Gaussian publications concentrate where interest is, so more
+        subscribers match each event."""
+        uniform = run_table_row(
+            TableRowSpec(100, 1000, "uniform"), 0.0, n_events=60, seed=3
+        )
+        gaussian = run_table_row(
+            TableRowSpec(100, 1000, "gaussian"), 0.0, n_events=60, seed=3
+        )
+        assert gaussian["unicast"] > uniform["unicast"]
+
+    def test_broadcast_flat_across_subscription_counts(self):
+        """Broadcast cost is independent of the subscription population."""
+        few = run_table_row(
+            TableRowSpec(100, 80, "uniform"), 0.4, n_events=40, seed=3
+        )
+        many = run_table_row(
+            TableRowSpec(100, 1000, "uniform"), 0.4, n_events=40, seed=3
+        )
+        assert few["broadcast"] == pytest.approx(many["broadcast"], rel=0.05)
+
+    def test_ideal_gap_grows_as_subscriptions_shrink(self):
+        """Few subscriptions: broadcast much worse than ideal; many
+        subscriptions: the gap narrows (the section 3 observation)."""
+        few = run_table_row(
+            TableRowSpec(100, 80, "uniform"), 0.0, n_events=60, seed=3
+        )
+        many = run_table_row(
+            TableRowSpec(100, 5000, "uniform"), 0.0, n_events=60, seed=3
+        )
+        ratio_few = few["broadcast"] / few["ideal"]
+        ratio_many = many["broadcast"] / many["ideal"]
+        assert ratio_few > ratio_many
+
+    def test_unicast_explodes_with_subscriptions(self):
+        few = run_table_row(
+            TableRowSpec(100, 80, "uniform"), 0.0, n_events=40, seed=3
+        )
+        many = run_table_row(
+            TableRowSpec(100, 5000, "uniform"), 0.0, n_events=40, seed=3
+        )
+        assert many["unicast"] > 5 * few["unicast"]
+        # with that many subscriptions, broadcast beats unicast
+        assert many["unicast"] > many["broadcast"]

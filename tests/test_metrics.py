@@ -1,0 +1,58 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.sim import CostSummary, improvement_percentage
+
+
+class TestImprovementPercentage:
+    def test_endpoints(self):
+        assert improvement_percentage(100, 20, 100) == pytest.approx(0.0)
+        assert improvement_percentage(100, 20, 20) == pytest.approx(100.0)
+
+    def test_midpoint(self):
+        assert improvement_percentage(100, 0, 50) == pytest.approx(50.0)
+
+    def test_worse_than_unicast_is_negative(self):
+        assert improvement_percentage(100, 20, 120) < 0
+
+    def test_better_than_ideal_overflows_past_100(self):
+        # cannot happen with correct cost models, but the scale is linear
+        assert improvement_percentage(100, 20, 10) > 100
+
+    def test_no_headroom(self):
+        assert improvement_percentage(50, 50, 50) == 100.0
+        assert improvement_percentage(50, 50, 60) == 0.0
+
+    def test_unicast_below_ideal_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percentage(10, 20, 15)
+
+
+class TestCostSummary:
+    def test_improvement_property(self):
+        s = CostSummary(
+            n_events=10, unicast=100, broadcast=120, ideal=20, achieved=60
+        )
+        assert s.improvement == pytest.approx(50.0)
+
+    def test_no_achieved_cost(self):
+        s = CostSummary(n_events=10, unicast=100, broadcast=120, ideal=20)
+        assert s.improvement is None
+        row = s.as_row()
+        assert "achieved" not in row
+        assert row["unicast"] == 100
+
+    def test_as_row_complete(self):
+        s = CostSummary(
+            n_events=5,
+            unicast=100,
+            broadcast=120,
+            ideal=20,
+            achieved=40,
+            wasted_deliveries=1.5,
+        )
+        row = s.as_row()
+        assert row["improvement_pct"] == pytest.approx(75.0)
+        assert row["wasted_deliveries"] == 1.5
+        assert row["n_events"] == 5

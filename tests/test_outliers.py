@@ -1,0 +1,106 @@
+"""Unit tests for the outlier-removal filter."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ForgyKMeansClustering,
+    OutlierFilter,
+    nearest_neighbor_waste,
+)
+from repro.geometry import Dimension, EventSpace
+from repro.grid import build_cell_set
+
+from tests.helpers import make_subscription_set
+
+
+@pytest.fixture(scope="module")
+def cells_with_outlier():
+    """A tight community plus one subscriber with a unique interest."""
+    space = EventSpace([Dimension("x", 0, 9), Dimension("y", 0, 9)])
+    specs = []
+    for k in range(5):  # overlapping community in the lower-left
+        specs.append((k, [(-1 + 0.3 * k, 4), (-1, 4 - 0.3 * k)]))
+    # the outlier: unique corner, nobody shares its cells
+    specs.append((5, [(8, 9), (8, 9)]))
+    subs = make_subscription_set(space, specs)
+    pmf = np.full(space.n_cells, 1.0 / space.n_cells)
+    return build_cell_set(space, subs, pmf)
+
+
+class TestNearestNeighborWaste:
+    def test_shape_and_nonnegative(self, cells_with_outlier):
+        nn = nearest_neighbor_waste(cells_with_outlier)
+        assert nn.shape == (len(cells_with_outlier),)
+        assert (nn >= 0).all()
+
+    def test_single_cell(self):
+        space = EventSpace([Dimension("x", 0, 1)])
+        subs = make_subscription_set(space, [(0, [(-1, 1)])])
+        cells = build_cell_set(space, subs, np.full(2, 0.5))
+        assert nearest_neighbor_waste(cells).tolist() == [0.0]
+
+    def test_outlier_has_largest_relative_distance(self, cells_with_outlier):
+        cells = cells_with_outlier
+        nn = nearest_neighbor_waste(cells)
+        badness = nn / np.maximum(cells.popularity, 1e-15)
+        worst = int(np.argmax(badness))
+        # the worst cell is one only subscriber 5 cares about
+        members = cells.subscribers_of(worst)
+        assert list(members) == [5]
+
+
+class TestOutlierFilter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutlierFilter(fraction=1.0)
+        with pytest.raises(ValueError):
+            OutlierFilter(min_ratio=-1.0)
+
+    def test_split_partitions_input(self, cells_with_outlier):
+        kept, outliers = OutlierFilter(fraction=0.3).split(cells_with_outlier)
+        assert len(kept) + len(outliers) == len(cells_with_outlier)
+        assert len(outliers) > 0
+
+    def test_removed_cells_unmapped(self, cells_with_outlier):
+        kept, outliers = OutlierFilter(fraction=0.3).split(cells_with_outlier)
+        for out in outliers:
+            for cell in cells_with_outlier.cell_ids[out]:
+                assert kept.hypercell_of_cell[cell] == -1
+
+    def test_lenient_filter_keeps_everything(self, cells_with_outlier):
+        kept, outliers = OutlierFilter(fraction=0.3, min_ratio=1e9).split(
+            cells_with_outlier
+        )
+        assert kept is cells_with_outlier
+        assert len(outliers) == 0
+        kept, outliers = OutlierFilter(fraction=0.0).split(cells_with_outlier)
+        assert kept is cells_with_outlier
+
+    def test_fraction_respected(self, cells_with_outlier):
+        m = len(cells_with_outlier)
+        _, outliers = OutlierFilter(fraction=0.25).split(cells_with_outlier)
+        assert len(outliers) <= int(np.ceil(0.25 * m))
+
+    def test_tiny_cellset_passthrough(self):
+        space = EventSpace([Dimension("x", 0, 1)])
+        subs = make_subscription_set(space, [(0, [(-1, 1)])])
+        cells = build_cell_set(space, subs, np.full(2, 0.5))
+        kept, outliers = OutlierFilter().split(cells)
+        assert kept is cells and len(outliers) == 0
+
+    def test_filtered_clustering_has_less_waste_per_cell(
+        self, cells_with_outlier
+    ):
+        """Removing outliers lowers the clustering objective (the effect
+        the paper anticipates from outlier removal)."""
+        k = 2
+        raw = ForgyKMeansClustering().fit(cells_with_outlier, k)
+        filtered_cells = OutlierFilter(fraction=0.3).apply(cells_with_outlier)
+        if len(filtered_cells) == len(cells_with_outlier):
+            pytest.skip("filter removed nothing on this workload")
+        filtered = ForgyKMeansClustering().fit(filtered_cells, k)
+        assert (
+            filtered.total_expected_waste()
+            <= raw.total_expected_waste() + 1e-9
+        )

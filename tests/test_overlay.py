@@ -1,0 +1,193 @@
+"""Unit and integration tests for the distributed filtering overlay."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Interval, Rectangle
+from repro.overlay import FilteredBrokerTree, RectangleFilter
+from repro.workload import MixturePublicationModel, single_mode_mixture
+
+
+def rect(*bounds):
+    return Rectangle(tuple(Interval.make(lo, hi) for lo, hi in bounds))
+
+
+class TestRectangleFilter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectangleFilter(0)
+        with pytest.raises(ValueError):
+            RectangleFilter(2, capacity=0)
+        f = RectangleFilter(2)
+        with pytest.raises(ValueError):
+            f.add(Rectangle.full(3))
+
+    def test_empty_filter_matches_nothing(self):
+        f = RectangleFilter(2)
+        assert f.is_empty
+        assert not f.matches((0, 0))
+
+    def test_exact_below_capacity(self):
+        f = RectangleFilter(2, capacity=10)
+        f.add(rect((0, 2), (0, 2)))
+        f.add(rect((5, 7), (5, 7)))
+        assert len(f) == 2
+        assert f.matches((1, 1))
+        assert f.matches((6, 6))
+        assert not f.matches((4, 4))
+
+    def test_covered_rectangles_skipped(self):
+        f = RectangleFilter(2, capacity=10)
+        f.add(rect((0, 10), (0, 10)))
+        f.add(rect((2, 5), (2, 5)))  # inside the first
+        assert len(f) == 1
+
+    def test_empty_rectangle_ignored(self):
+        f = RectangleFilter(2)
+        f.add(Rectangle.empty(2))
+        assert f.is_empty
+
+    def test_compaction_is_conservative(self, rng):
+        """After capacity merging the filter still covers every input."""
+        f = RectangleFilter(2, capacity=3)
+        rectangles = []
+        for _ in range(12):
+            lo = rng.uniform(0, 15, size=2)
+            hi = lo + rng.uniform(0.5, 4, size=2)
+            r = Rectangle.from_bounds(lo, hi)
+            rectangles.append(r)
+            f.add(r)
+        assert len(f) <= 3
+        for r in rectangles:
+            # every input rectangle's centre still matches
+            assert f.matches(r.center())
+
+    def test_merge_filters(self):
+        a = RectangleFilter.covering([rect((0, 1), (0, 1))], 2, capacity=5)
+        b = RectangleFilter.covering([rect((3, 4), (3, 4))], 2, capacity=5)
+        a.merge(b)
+        assert a.matches((0.5, 0.5)) and a.matches((3.5, 3.5))
+
+    def test_unbounded_rectangles_supported(self):
+        f = RectangleFilter(2, capacity=2)
+        f.add(Rectangle((Interval.full(), Interval.make(0, 1))))
+        f.add(rect((5, 6), (5, 6)))
+        f.add(rect((8, 9), (8, 9)))  # forces a merge
+        assert len(f) <= 2
+        assert f.matches((1e6, 0.5))
+
+
+class TestFilteredBrokerTree:
+    @pytest.fixture(scope="class")
+    def overlay_env(self, small_topology, small_routing, small_subscriptions):
+        tree = FilteredBrokerTree(
+            small_routing, small_subscriptions, filter_capacity=10**9
+        )
+        publications = MixturePublicationModel(
+            small_topology, single_mode_mixture(),
+            space=small_subscriptions.space,
+        )
+        return tree, publications
+
+    def test_no_interested_subscriber_missed(self, overlay_env, rng):
+        """The overlay's core guarantee, with exact and with tight
+        filters alike."""
+        tree, publications = overlay_env
+        subs = tree.subscriptions
+        tight = FilteredBrokerTree(
+            tree.routing, subs, filter_capacity=2
+        )
+        for event in publications.sample(rng, 60):
+            interested = subs.interested_subscribers(event.point)
+            for overlay in (tree, tight):
+                result = overlay.disseminate(event.point, event.publisher)
+                missed = np.setdiff1d(interested, result.delivered_subscribers)
+                assert len(missed) == 0
+                extra = np.setdiff1d(result.delivered_subscribers, interested)
+                assert len(extra) == 0  # local match is always exact
+
+    def test_exact_filters_visit_minimal_tree(self, overlay_env, rng):
+        """With unbounded filters, the traversed links are exactly the
+        tree paths from the publisher towards interested nodes."""
+        tree, publications = overlay_env
+        subs = tree.subscriptions
+        for event in publications.sample(rng, 30):
+            result = tree.disseminate(event.point, event.publisher)
+            interested_nodes = set(
+                int(n) for n in subs.interested_nodes(event.point)
+            )
+            visited = set(result.visited_nodes)
+            assert interested_nodes <= visited
+            # every visited node other than the publisher must lie on the
+            # tree path from the publisher to some interested node
+            on_paths = {event.publisher}
+            for target in interested_nodes:
+                on_paths.update(tree_path(tree, event.publisher, target))
+            assert visited == on_paths
+
+    def test_tighter_filters_cost_more(self, overlay_env, rng):
+        """Capacity-bounded filters over-match, so dissemination can only
+        get costlier (never cheaper) as the budget shrinks."""
+        tree, publications = overlay_env
+        tight = FilteredBrokerTree(
+            tree.routing, tree.subscriptions, filter_capacity=1
+        )
+        exact_total = tight_total = 0.0
+        for event in publications.sample(rng, 40):
+            exact_total += tree.disseminate(event.point, event.publisher).cost
+            tight_total += tight.disseminate(event.point, event.publisher).cost
+        assert tight_total >= exact_total - 1e-9
+
+    def test_filter_state_accounting(self, overlay_env):
+        tree, _ = overlay_env
+        tight = FilteredBrokerTree(
+            tree.routing, tree.subscriptions, filter_capacity=2
+        )
+        assert tight.total_filter_state() <= tree.total_filter_state()
+        assert tight.max_link_state() <= 2
+
+    def test_invalid_inputs(self, overlay_env):
+        tree, _ = overlay_env
+        with pytest.raises(ValueError):
+            tree.disseminate((0, 0, 0, 0), publisher=10**6)
+        with pytest.raises(ValueError):
+            FilteredBrokerTree(
+                tree.routing, tree.subscriptions, root=10**6
+            )
+
+    def test_publisher_at_root_and_leaf(self, overlay_env, rng):
+        """Dissemination works regardless of where the event enters."""
+        tree, publications = overlay_env
+        event = publications.sample(rng, 1)[0]
+        for publisher in (tree.root, tree.routing.graph.n_nodes - 1):
+            result = tree.disseminate(event.point, publisher)
+            interested = tree.subscriptions.interested_subscribers(event.point)
+            assert len(
+                np.setdiff1d(interested, result.delivered_subscribers)
+            ) == 0
+
+
+def tree_path(tree, a, b):
+    """Nodes on the tree path between a and b (via parent pointers)."""
+    def to_root(v):
+        path = [v]
+        while tree._parent[path[-1]] >= 0:
+            path.append(tree._parent[path[-1]])
+        return path
+
+    pa, pb = to_root(a), to_root(b)
+    sa, sb = set(pa), set(pb)
+    # lowest common ancestor: first node of pa that is also in pb
+    lca = next(v for v in pa if v in sb)
+    path = []
+    for v in pa:
+        path.append(v)
+        if v == lca:
+            break
+    for v in pb:
+        if v == lca:
+            break
+        path.append(v)
+    return path

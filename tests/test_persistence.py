@@ -1,0 +1,172 @@
+"""Round-trip tests for the persistence layer."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ForgyKMeansClustering, NoLossAlgorithm
+from repro.grid import build_cell_set
+from repro.persistence import (
+    load_cell_set,
+    load_clustering,
+    load_noloss_result,
+    load_subscriptions,
+    load_topology,
+    save_cell_set,
+    save_clustering,
+    save_noloss_result,
+    save_subscriptions,
+    save_topology,
+)
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return tmp_path / "artefact.npz"
+
+
+class TestTopologyRoundTrip:
+    def test_graph_identical(self, small_topology, path):
+        save_topology(small_topology, path)
+        loaded = load_topology(path)
+        assert loaded.n_nodes == small_topology.n_nodes
+        assert sorted(loaded.graph.edges()) == sorted(
+            small_topology.graph.edges()
+        )
+
+    def test_roles_identical(self, small_topology, path):
+        save_topology(small_topology, path)
+        loaded = load_topology(path)
+        assert loaded.transit_block == small_topology.transit_block
+        assert loaded.stub_of == small_topology.stub_of
+        assert loaded.stubs == small_topology.stubs
+        assert loaded.stub_block == small_topology.stub_block
+        assert loaded.transit_nodes == small_topology.transit_nodes
+
+    def test_routing_equivalent(self, small_topology, path):
+        save_topology(small_topology, path)
+        loaded = load_topology(path)
+        sp_a = small_topology.graph.shortest_paths(0)
+        sp_b = loaded.graph.shortest_paths(0)
+        np.testing.assert_allclose(sp_a.dist, sp_b.dist)
+
+
+class TestSubscriptionRoundTrip:
+    def test_identical(self, small_subscriptions, path):
+        save_subscriptions(small_subscriptions, path)
+        loaded = load_subscriptions(path)
+        assert len(loaded) == len(small_subscriptions)
+        assert loaded.n_subscribers == small_subscriptions.n_subscribers
+        a_los, a_his = small_subscriptions.bounds()
+        b_los, b_his = loaded.bounds()
+        np.testing.assert_array_equal(a_los, b_los)
+        np.testing.assert_array_equal(a_his, b_his)
+        np.testing.assert_array_equal(
+            loaded.subscriber_nodes, small_subscriptions.subscriber_nodes
+        )
+
+    def test_matching_equivalent(self, small_subscriptions, path, rng):
+        save_subscriptions(small_subscriptions, path)
+        loaded = load_subscriptions(path)
+        for _ in range(30):
+            point = tuple(rng.uniform(-1, 21, size=4))
+            np.testing.assert_array_equal(
+                loaded.interested_subscribers(point),
+                small_subscriptions.interested_subscribers(point),
+            )
+
+    def test_infinite_bounds_survive(self, small_subscriptions, path):
+        """Wildcard sides (±inf) round-trip through npz."""
+        los, _ = small_subscriptions.bounds()
+        assert np.isinf(los).any(), "fixture should contain wildcards"
+        save_subscriptions(small_subscriptions, path)
+        loaded_los, _ = load_subscriptions(path).bounds()
+        np.testing.assert_array_equal(los, loaded_los)
+
+
+class TestCellSetAndClusteringRoundTrip:
+    @pytest.fixture()
+    def cells(self, small_subscriptions, small_publications):
+        return build_cell_set(
+            small_subscriptions.space,
+            small_subscriptions,
+            small_publications.cell_pmf(),
+            max_cells=150,
+        )
+
+    def test_cell_set(self, cells, path):
+        save_cell_set(cells, path)
+        loaded = load_cell_set(path)
+        np.testing.assert_array_equal(loaded.membership, cells.membership)
+        np.testing.assert_allclose(loaded.probs, cells.probs)
+        np.testing.assert_array_equal(
+            loaded.hypercell_of_cell, cells.hypercell_of_cell
+        )
+        assert len(loaded.cell_ids) == len(cells.cell_ids)
+        for a, b in zip(loaded.cell_ids, cells.cell_ids):
+            np.testing.assert_array_equal(a, b)
+
+    def test_clustering(self, cells, path):
+        clustering = ForgyKMeansClustering().fit(cells, 6)
+        save_clustering(clustering, path)
+        loaded = load_clustering(path)
+        np.testing.assert_array_equal(loaded.assignment, clustering.assignment)
+        np.testing.assert_array_equal(
+            loaded.group_membership, clustering.group_membership
+        )
+        assert loaded.total_expected_waste() == pytest.approx(
+            clustering.total_expected_waste()
+        )
+
+    def test_loaded_clustering_matches_events(
+        self, cells, path, small_subscriptions
+    ):
+        """A reloaded clustering produces identical matcher decisions."""
+        from repro.matching import GridMatcher
+
+        clustering = ForgyKMeansClustering().fit(cells, 6)
+        save_clustering(clustering, path)
+        loaded = load_clustering(path)
+        m1 = GridMatcher(clustering, small_subscriptions)
+        m2 = GridMatcher(loaded, small_subscriptions)
+        space = small_subscriptions.space
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            point = tuple(
+                int(rng.integers(d.lo, d.hi + 1)) for d in space.dimensions
+            )
+            p1, p2 = m1.match(point), m2.match(point)
+            assert p1.group_ids == p2.group_ids
+            np.testing.assert_array_equal(
+                p1.unicast_subscribers, p2.unicast_subscribers
+            )
+
+
+class TestNoLossRoundTrip:
+    def test_identical(self, small_subscriptions, small_publications, path):
+        algo = NoLossAlgorithm(n_keep=100, iterations=2)
+        result = algo.fit(
+            small_subscriptions,
+            small_publications.cell_pmf(),
+            8,
+            rng=np.random.default_rng(0),
+        )
+        save_noloss_result(result, path)
+        loaded = load_noloss_result(path)
+        np.testing.assert_array_equal(loaded.los, result.los)
+        np.testing.assert_array_equal(loaded.his, result.his)
+        np.testing.assert_allclose(loaded.weights, result.weights)
+        assert loaded.n_groups == result.n_groups
+        np.testing.assert_array_equal(loaded.group_of, result.group_of)
+        for a, b in zip(loaded.group_members, result.group_members):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFormatSafety:
+    def test_kind_mismatch_detected(self, small_topology, path):
+        save_topology(small_topology, path)
+        with pytest.raises(ValueError):
+            load_subscriptions(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_topology(tmp_path / "nope.npz")

@@ -1,0 +1,179 @@
+"""Unit tests for non-rectangular (predicate) subscriptions."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ForgyKMeansClustering
+from repro.geometry import Dimension, EventSpace, Rectangle
+from repro.grid import build_cell_set, build_membership_matrix
+from repro.matching import GridMatcher
+from repro.workload import (
+    PredicateSubscription,
+    PredicateSubscriptionSet,
+    SubscriptionSet,
+    Subscription,
+    ball_predicate,
+    rectangle_predicate,
+    union_predicate,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return EventSpace([Dimension("x", 0, 9), Dimension("y", 0, 9)])
+
+
+class TestPredicateHelpers:
+    def test_rectangle_predicate_matches_rectangle(self, space):
+        rect = Rectangle.from_bounds((1, 2), (5, 7))
+        predicate = rectangle_predicate(rect)
+        points = np.array(
+            [space.cell_value(c) for c in range(space.n_cells)], float
+        )
+        expected = np.array([rect.contains(tuple(p)) for p in points])
+        np.testing.assert_array_equal(predicate(points), expected)
+
+    def test_union_predicate(self):
+        a = rectangle_predicate(Rectangle.from_bounds((0, 0), (2, 2)))
+        b = rectangle_predicate(Rectangle.from_bounds((5, 5), (7, 7)))
+        u = union_predicate([a, b])
+        points = np.array([[1.0, 1.0], [6.0, 6.0], [4.0, 4.0]])
+        np.testing.assert_array_equal(u(points), [True, True, False])
+        with pytest.raises(ValueError):
+            union_predicate([])
+
+    def test_ball_predicate(self):
+        ball = ball_predicate((5, 5), 2.0)
+        points = np.array([[5.0, 5.0], [5.0, 7.0], [5.0, 7.1], [8.0, 8.0]])
+        np.testing.assert_array_equal(ball(points), [True, True, False, False])
+        with pytest.raises(ValueError):
+            ball_predicate((0, 0), 0.0)
+
+
+class TestPredicateSubscriptionSet:
+    @pytest.fixture(scope="class")
+    def subs(self, space):
+        return PredicateSubscriptionSet(
+            space,
+            [
+                PredicateSubscription(0, 3, ball_predicate((2, 2), 3.0)),
+                PredicateSubscription(1, 4, ball_predicate((7, 7), 3.0)),
+                PredicateSubscription(
+                    2,
+                    5,
+                    union_predicate(
+                        [
+                            rectangle_predicate(
+                                Rectangle.from_bounds((-1, -1), (1, 1))
+                            ),
+                            rectangle_predicate(
+                                Rectangle.from_bounds((8, 8), (9, 9))
+                            ),
+                        ]
+                    ),
+                ),
+            ],
+        )
+
+    def test_interested_subscribers(self, subs):
+        assert list(subs.interested_subscribers((2, 2))) == [0]
+        assert list(subs.interested_subscribers((7, 7))) == [1]
+        assert list(subs.interested_subscribers((0, 0))) == [0, 2]
+        assert list(subs.interested_subscribers((5, 0))) == []
+
+    def test_nodes(self, subs):
+        assert subs.node_of(2) == 5
+        assert list(subs.nodes_of_subscribers([0, 2])) == [3, 5]
+        assert list(subs.interested_nodes((0, 0))) == [3, 5]
+
+    def test_membership_matrix_matches_pointwise(self, space, subs):
+        matrix = subs.membership_matrix(space)
+        for cell in range(space.n_cells):
+            point = space.cell_value(cell)
+            expected = set(subs.interested_subscribers(point))
+            assert set(np.nonzero(matrix[cell])[0]) == expected
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            PredicateSubscriptionSet(space, [])
+        with pytest.raises(ValueError):
+            PredicateSubscriptionSet(
+                space,
+                [PredicateSubscription(1, 0, ball_predicate((0, 0), 1))],
+            )
+        with pytest.raises(ValueError):
+            PredicateSubscriptionSet(
+                space,
+                [
+                    PredicateSubscription(0, 0, ball_predicate((0, 0), 1)),
+                    PredicateSubscription(0, 1, ball_predicate((0, 0), 1)),
+                ],
+            )
+
+
+class TestGridPipelineWithPredicates:
+    """Future-work item 1: the grid algorithms run unchanged on
+    non-rectangular interest sets."""
+
+    @pytest.fixture(scope="class")
+    def subs(self, space):
+        return PredicateSubscriptionSet(
+            space,
+            [
+                PredicateSubscription(s, s, ball_predicate((2, 2), 3.0))
+                for s in range(3)
+            ]
+            + [
+                PredicateSubscription(3 + s, 3 + s, ball_predicate((7, 7), 3.0))
+                for s in range(3)
+            ],
+        )
+
+    def test_build_membership_dispatches(self, space, subs):
+        matrix = build_membership_matrix(space, subs)
+        assert matrix.shape == (space.n_cells, 6)
+        assert matrix.any()
+
+    def test_cluster_and_match(self, space, subs):
+        pmf = np.full(space.n_cells, 1.0 / space.n_cells)
+        cells = build_cell_set(space, subs, pmf)
+        clustering = ForgyKMeansClustering().fit(cells, 2)
+        matcher = GridMatcher(clustering, subs)
+        multicasts = 0
+        for cell in range(space.n_cells):
+            point = space.cell_value(cell)
+            plan = matcher.match(point)
+            plan.validate_complete()
+            multicasts += plan.uses_multicast
+        assert multicasts > 0
+
+    def test_two_balls_separate_into_two_groups(self, space, subs):
+        pmf = np.full(space.n_cells, 1.0 / space.n_cells)
+        cells = build_cell_set(space, subs, pmf)
+        clustering = ForgyKMeansClustering().fit(cells, 2)
+        g_low = clustering.group_of_grid_cell(space.locate((2, 2)))
+        g_high = clustering.group_of_grid_cell(space.locate((7, 7)))
+        assert g_low != g_high
+        low_members = set(clustering.subscribers_of_group(g_low))
+        assert low_members == {0, 1, 2}
+
+    def test_equivalent_to_rectangles_when_rectangular(self, space):
+        """Predicate rasterisation of rectangles equals the block path."""
+        rects = [
+            Rectangle.from_bounds((0, 1), (4, 6)),
+            Rectangle.from_bounds((3, -1), (9, 5)),
+        ]
+        rect_set = SubscriptionSet(
+            space, [Subscription(i, i, r) for i, r in enumerate(rects)]
+        )
+        pred_set = PredicateSubscriptionSet(
+            space,
+            [
+                PredicateSubscription(i, i, rectangle_predicate(r))
+                for i, r in enumerate(rects)
+            ],
+        )
+        np.testing.assert_array_equal(
+            build_membership_matrix(space, rect_set),
+            build_membership_matrix(space, pred_set),
+        )

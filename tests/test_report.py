@@ -1,0 +1,95 @@
+"""Tests for CSV export and ASCII charts."""
+
+import pytest
+
+from repro.sim import (
+    AlgorithmResult,
+    CostSummary,
+    ascii_chart,
+    chart_improvement,
+    results_to_rows,
+    rows_to_csv,
+)
+
+
+def make_result(algorithm="forgy", scheme="dense", k=10, improvement=50.0):
+    unicast, ideal = 100.0, 20.0
+    achieved = unicast - improvement / 100.0 * (unicast - ideal)
+    return AlgorithmResult(
+        algorithm=algorithm,
+        scheme=scheme,
+        n_groups=k,
+        summary=CostSummary(
+            n_events=10,
+            unicast=unicast,
+            broadcast=120.0,
+            ideal=ideal,
+            achieved=achieved,
+        ),
+        fit_seconds=0.5,
+        n_cells=100,
+    )
+
+
+class TestCsv:
+    def test_roundtrip_columns(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}]
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,2,"
+        assert lines[2] == ",3,4"
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv([{"x": 1}], path)
+        assert path.read_text().startswith("x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rows_to_csv([])
+
+    def test_results_to_rows(self):
+        rows = results_to_rows([make_result()])
+        assert rows[0]["algorithm"] == "forgy"
+        assert rows[0]["improvement_pct"] == pytest.approx(50.0)
+        text = rows_to_csv(rows)
+        assert "forgy" in text
+
+
+class TestAsciiChart:
+    def test_renders_axes_and_legend(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=6,
+            x_label="K",
+            y_label="imp",
+        )
+        assert "imp (0 .. 1)" in chart
+        assert "K (0 .. 1)" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart({"flat": [(0, 5), (1, 5)]})
+        assert "flat" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+
+    def test_chart_improvement(self):
+        results = [
+            make_result(k=10, improvement=30),
+            make_result(k=40, improvement=50),
+            make_result(algorithm="mst", k=10, improvement=20),
+            make_result(algorithm="mst", k=40, improvement=25),
+            make_result(scheme="alm", k=10, improvement=28),
+        ]
+        chart = chart_improvement(results, scheme="dense")
+        assert "multicast groups" in chart
+        assert "forgy" in chart and "mst" in chart
+        with pytest.raises(ValueError):
+            chart_improvement(results, scheme="sparse")

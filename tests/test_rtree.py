@@ -1,0 +1,121 @@
+"""Unit tests for the R-tree stabbing index."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Interval, Rectangle
+from repro.matching import RTree
+
+
+def random_rectangles(rng, n, dims=3, span=20.0):
+    rects = []
+    for _ in range(n):
+        sides = []
+        for _ in range(dims):
+            kind = rng.random()
+            if kind < 0.1:
+                sides.append(Interval.full())
+            elif kind < 0.2:
+                sides.append(Interval.greater_than(rng.uniform(0, span)))
+            elif kind < 0.3:
+                sides.append(Interval.at_most(rng.uniform(0, span)))
+            else:
+                lo = rng.uniform(-1, span)
+                sides.append(Interval.make(lo, lo + rng.uniform(0.1, span / 2)))
+        rects.append(Rectangle(tuple(sides)))
+    return rects
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            RTree([Rectangle.full(2), Rectangle.full(3)])
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RTree([Rectangle.full(2)], leaf_capacity=0)
+
+    def test_len(self, rng):
+        rects = random_rectangles(rng, 40)
+        assert len(RTree(rects)) == 40
+
+    def test_height_grows_logarithmically(self, rng):
+        rects = random_rectangles(rng, 256, dims=2)
+        tree = RTree(rects, leaf_capacity=4)
+        # 256 entries, fanout 2, capacity 4: expect height ~ log2(64)+1
+        assert tree.height() <= 10
+
+    def test_from_bounds(self):
+        tree = RTree.from_bounds(
+            np.array([[0.0, 0.0], [5.0, 5.0]]),
+            np.array([[2.0, 2.0], [9.0, 9.0]]),
+        )
+        assert list(tree.stab((1, 1))) == [0]
+        assert list(tree.stab((6, 6))) == [1]
+
+
+class TestStabbing:
+    def test_matches_brute_force(self, rng):
+        rects = random_rectangles(rng, 300, dims=3)
+        tree = RTree(rects, leaf_capacity=8)
+        for _ in range(200):
+            point = tuple(rng.uniform(-2, 22, size=3))
+            expected = [
+                i for i, r in enumerate(rects) if r.contains(point)
+            ]
+            assert list(tree.stab(point)) == expected
+
+    def test_half_open_semantics(self):
+        tree = RTree([Rectangle.from_bounds((0, 0), (2, 2))])
+        assert list(tree.stab((2, 2))) == [0]  # closed upper
+        assert list(tree.stab((0, 1))) == []  # open lower
+
+    def test_unbounded_rectangles(self):
+        tree = RTree(
+            [
+                Rectangle((Interval.full(), Interval.make(0, 1))),
+                Rectangle((Interval.greater_than(5), Interval.full())),
+            ]
+        )
+        assert list(tree.stab((1e9, 0.5))) == [0, 1]
+        assert list(tree.stab((-1e9, 0.5))) == [0]
+        assert list(tree.stab((10, 99))) == [1]
+
+    def test_no_hits(self, rng):
+        rects = [Rectangle.from_bounds((0, 0), (1, 1))]
+        tree = RTree(rects)
+        assert len(tree.stab((50, 50))) == 0
+
+    def test_point_arity_checked(self):
+        tree = RTree([Rectangle.full(2)])
+        with pytest.raises(ValueError):
+            tree.stab((1, 2, 3))
+
+    def test_duplicate_rectangles_all_reported(self):
+        rect = Rectangle.from_bounds((0, 0), (5, 5))
+        tree = RTree([rect, rect, rect])
+        assert list(tree.stab((1, 1))) == [0, 1, 2]
+
+    def test_single_rectangle_tree(self):
+        tree = RTree([Rectangle.from_bounds((0,), (5,))])
+        assert list(tree.stab((3,))) == [0]
+        assert tree.height() == 1
+
+    def test_large_tree_consistency(self, rng):
+        """Stabbing results stay correct when the tree has many levels."""
+        rects = random_rectangles(rng, 1000, dims=2, span=10.0)
+        tree = RTree(rects, leaf_capacity=4)
+        hits = 0
+        for _ in range(50):
+            point = tuple(rng.uniform(0, 10, size=2))
+            expected = [i for i, r in enumerate(rects) if r.contains(point)]
+            got = list(tree.stab(point))
+            assert got == expected
+            hits += len(got)
+        assert hits > 0  # the test actually exercised matches

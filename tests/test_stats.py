@@ -1,0 +1,72 @@
+"""Tests for the multi-seed statistics utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import SummaryStatistics, replicate, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.n == 3
+        assert stats.std == pytest.approx(1.0)
+        assert stats.ci_low < 2.0 < stats.ci_high
+
+    def test_against_scipy(self):
+        from scipy import stats as sps
+
+        data = [3.1, 2.7, 4.0, 3.6, 2.9, 3.3]
+        ours = summarize(data, confidence=0.95)
+        z = sps.norm.ppf(0.975)
+        expected_half = z * np.std(data, ddof=1) / np.sqrt(len(data))
+        assert ours.ci_half_width == pytest.approx(expected_half, rel=1e-3)
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert math.isinf(stats.ci_half_width)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=0.77)
+
+    def test_overlap(self):
+        a = SummaryStatistics(10, 5.0, 1.0, 0.5, 0.95)
+        b = SummaryStatistics(10, 5.8, 1.0, 0.5, 0.95)
+        c = SummaryStatistics(10, 9.0, 1.0, 0.5, 0.95)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+
+class TestReplicate:
+    def test_collects_metrics(self):
+        def experiment(seed):
+            rng = np.random.default_rng(seed)
+            return {"x": rng.normal(10, 1), "y": rng.normal(0, 1)}
+
+        stats = replicate(experiment, seeds=range(30))
+        assert stats["x"].n == 30
+        assert abs(stats["x"].mean - 10.0) < 1.0
+        assert abs(stats["y"].mean) < 1.0
+
+    def test_metric_mismatch_detected(self):
+        def experiment(seed):
+            return {"a": 1.0} if seed == 0 else {"b": 1.0}
+
+        with pytest.raises(ValueError):
+            replicate(experiment, seeds=[0, 1])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"a": 1.0}, seeds=[])
+
+    def test_deterministic_experiment_zero_spread(self):
+        stats = replicate(lambda seed: {"v": 7.0}, seeds=[0, 1, 2])
+        assert stats["v"].std == 0.0
+        assert stats["v"].ci_half_width == 0.0

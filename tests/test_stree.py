@@ -1,0 +1,94 @@
+"""Unit tests for the S-tree-style unbalanced stabbing index."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Interval, Rectangle
+from repro.matching import RTree, STree
+
+from tests.test_rtree import random_rectangles
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            STree([])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            STree([Rectangle.full(2), Rectangle.full(3)])
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            STree([Rectangle.full(2)], leaf_capacity=0)
+
+    def test_len_and_height(self, rng):
+        rects = random_rectangles(rng, 100, dims=2)
+        tree = STree(rects, leaf_capacity=4)
+        assert len(tree) == 100
+        assert 1 <= tree.height() <= 32
+        assert tree.node_count() >= 1
+
+    def test_all_wildcards_degenerate_to_leaf(self):
+        """When every rectangle spans every split, the tree stays flat."""
+        tree = STree([Rectangle.full(2)] * 20, leaf_capacity=4)
+        assert tree.height() == 1
+
+
+class TestStabbing:
+    def test_matches_bruteforce(self, rng):
+        rects = random_rectangles(rng, 300, dims=3)
+        tree = STree(rects, leaf_capacity=8)
+        for _ in range(200):
+            point = tuple(rng.uniform(-2, 22, size=3))
+            expected = [i for i, r in enumerate(rects) if r.contains(point)]
+            assert list(tree.stab(point)) == expected
+
+    def test_matches_rtree(self, rng):
+        """The two index structures of section 4.6 agree everywhere."""
+        rects = random_rectangles(rng, 400, dims=2)
+        stree = STree(rects, leaf_capacity=8)
+        rtree = RTree(rects, leaf_capacity=8)
+        for _ in range(300):
+            point = tuple(rng.uniform(-2, 22, size=2))
+            np.testing.assert_array_equal(stree.stab(point), rtree.stab(point))
+
+    def test_half_open_semantics(self):
+        tree = STree([Rectangle.from_bounds((0, 0), (2, 2))])
+        assert list(tree.stab((2, 2))) == [0]
+        assert list(tree.stab((0, 1))) == []
+
+    def test_unbounded_rectangles(self):
+        tree = STree(
+            [
+                Rectangle((Interval.full(), Interval.make(0, 1))),
+                Rectangle((Interval.greater_than(5), Interval.full())),
+            ]
+        )
+        assert list(tree.stab((1e9, 0.5))) == [0, 1]
+        assert list(tree.stab((-1e9, 0.5))) == [0]
+
+    def test_point_arity_checked(self):
+        tree = STree([Rectangle.full(2)])
+        with pytest.raises(ValueError):
+            tree.stab((1, 2, 3))
+
+    def test_boundary_points_on_splits(self, rng):
+        """Points landing exactly on split values are routed correctly."""
+        rects = [
+            Rectangle.from_bounds((float(i), 0.0), (float(i + 2), 10.0))
+            for i in range(20)
+        ]
+        tree = STree(rects, leaf_capacity=2)
+        for x in range(23):
+            point = (float(x), 5.0)
+            expected = [i for i, r in enumerate(rects) if r.contains(point)]
+            assert list(tree.stab(point)) == expected
+
+    def test_from_bounds(self):
+        tree = STree.from_bounds(
+            np.array([[0.0, 0.0], [5.0, 5.0]]),
+            np.array([[2.0, 2.0], [9.0, 9.0]]),
+        )
+        assert list(tree.stab((1, 1))) == [0]
+        assert list(tree.stab((6, 6))) == [1]

@@ -1,0 +1,116 @@
+"""Tests for the dimension-parameterised synthetic workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload import SyntheticConfig, generate_synthetic
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_communities=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(subscribers_per_community=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(domain_size=1)
+        with pytest.raises(ValueError):
+            SyntheticConfig(wildcard_prob=1.0)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("n_dims", [1, 2, 4, 5])
+    def test_dimensions(self, small_topology, n_dims):
+        workload = generate_synthetic(
+            small_topology, n_dims, rng=np.random.default_rng(0)
+        )
+        assert workload.space.n_dims == n_dims
+        assert workload.centers.shape == (4, n_dims)
+        assert workload.cell_pmf.shape == (workload.space.n_cells,)
+        assert workload.cell_pmf.sum() == pytest.approx(1.0)
+
+    def test_invalid_dims(self, small_topology):
+        with pytest.raises(ValueError):
+            generate_synthetic(small_topology, 0)
+
+    def test_subscriber_count(self, small_topology):
+        config = SyntheticConfig(n_communities=3, subscribers_per_community=7)
+        workload = generate_synthetic(
+            small_topology, 3, config, rng=np.random.default_rng(1)
+        )
+        assert len(workload.subscriptions) == 21
+        assert workload.subscriptions.n_subscribers == 21
+
+    def test_communities_are_regional(self, small_topology):
+        """All subscribers of a community sit in one stub."""
+        config = SyntheticConfig(n_communities=3, subscribers_per_community=10)
+        workload = generate_synthetic(
+            small_topology, 2, config, rng=np.random.default_rng(2)
+        )
+        for community in range(3):
+            members = workload.subscriptions.subscriptions[
+                community * 10 : (community + 1) * 10
+            ]
+            stubs = {small_topology.stub_of[s.node] for s in members}
+            assert len(stubs) == 1
+
+    def test_community_members_share_interest(self, small_topology):
+        """Events at a community centre interest mostly that community."""
+        config = SyntheticConfig(
+            n_communities=2,
+            subscribers_per_community=15,
+            wildcard_prob=0.0,
+            jitter=0.3,
+        )
+        workload = generate_synthetic(
+            small_topology, 3, config, rng=np.random.default_rng(3)
+        )
+        for community in range(2):
+            point = workload.space.clip_point(workload.centers[community])
+            interested = set(
+                int(s)
+                for s in workload.subscriptions.interested_subscribers(point)
+            )
+            own = set(range(community * 15, (community + 1) * 15))
+            # most interest comes from the community's own members
+            assert len(interested & own) > len(interested - own)
+
+    def test_events_near_centres(self, small_topology):
+        workload = generate_synthetic(
+            small_topology, 2, rng=np.random.default_rng(4)
+        )
+        events = workload.sample(np.random.default_rng(5), 400)
+        distances = []
+        for event in events:
+            point = np.asarray(event.point, dtype=float)
+            distances.append(
+                min(
+                    np.linalg.norm(point - center)
+                    for center in workload.centers
+                )
+            )
+        # points hug the nearest centre relative to the domain diagonal
+        assert np.mean(distances) < 2.5
+
+    def test_full_pipeline_any_dimension(self, small_topology):
+        """The grid pipeline handles 5-d spaces end to end."""
+        from repro.clustering import ForgyKMeansClustering
+        from repro.grid import build_cell_set
+        from repro.matching import GridMatcher
+
+        workload = generate_synthetic(
+            small_topology,
+            5,
+            SyntheticConfig(domain_size=6),
+            rng=np.random.default_rng(6),
+        )
+        cells = build_cell_set(
+            workload.space,
+            workload.subscriptions,
+            workload.cell_pmf,
+            max_cells=400,
+        )
+        clustering = ForgyKMeansClustering().fit(cells, 8)
+        matcher = GridMatcher(clustering, workload.subscriptions)
+        for event in workload.sample(np.random.default_rng(7), 30):
+            matcher.match(event.point).validate_complete()

@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic trade stream."""
+
+import numpy as np
+import pytest
+
+from repro.workload import TradeStreamConfig, TradeStreamGenerator
+
+
+@pytest.fixture()
+def generator(small_topology):
+    return TradeStreamGenerator(
+        small_topology, rng=np.random.default_rng(1)
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TradeStreamConfig(n_stocks=0)
+        with pytest.raises(ValueError):
+            TradeStreamConfig(price_reversion=2.0)
+        with pytest.raises(ValueError):
+            TradeStreamConfig(bst_probs=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            TradeStreamConfig(price_volatility=-1.0)
+
+
+class TestStream:
+    def test_events_on_lattice(self, generator):
+        for event in generator.stream(300):
+            for dim, value in zip(generator.space.dimensions, event.point):
+                assert dim.lo <= value <= dim.hi
+                assert isinstance(value, int)
+
+    def test_publishers_are_stub_nodes(self, generator, small_topology):
+        stub_nodes = set(small_topology.stub_nodes())
+        for event in generator.stream(100):
+            assert event.publisher in stub_nodes
+
+    def test_popularity_is_skewed(self, generator):
+        """A Zipf head stock should dominate the stream."""
+        names = [e.point[1] for e in generator.stream(3000)]
+        counts = np.bincount(names, minlength=21)
+        assert counts.max() > 3 * np.median(counts[counts > 0])
+
+    def test_prices_temporally_correlated(self, small_topology):
+        """Consecutive quotes of the same stock move in small steps —
+        the property that distinguishes the stream from the i.i.d.
+        mixture model."""
+        gen = TradeStreamGenerator(
+            small_topology,
+            TradeStreamConfig(n_stocks=1, price_volatility=0.8),
+            rng=np.random.default_rng(3),
+        )
+        quotes = [e.point[2] for e in gen.stream(400)]
+        steps = np.abs(np.diff(quotes))
+        # small steps dominate; a fresh uniform draw would average ~7
+        assert np.mean(steps) < 3.0
+
+    def test_mean_reversion(self, small_topology):
+        """Prices stay near the per-stock base, not diffusing away."""
+        gen = TradeStreamGenerator(
+            small_topology,
+            TradeStreamConfig(n_stocks=1, price_reversion=0.5),
+            rng=np.random.default_rng(4),
+        )
+        base = gen._base_price[0]
+        quotes = [e.point[2] for e in gen.stream(500)]
+        assert abs(np.mean(quotes[100:]) - base) < 2.5
+
+    def test_bst_split(self, generator):
+        bst = [e.point[0] for e in generator.stream(3000)]
+        counts = np.bincount(bst, minlength=3) / len(bst)
+        np.testing.assert_allclose(counts, [0.4, 0.4, 0.2], atol=0.05)
+
+    def test_cell_pmf_normalised(self, generator):
+        pmf = generator.cell_pmf()
+        assert pmf.shape == (generator.space.n_cells,)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_sample_interface(self, generator):
+        events = generator.sample(np.random.default_rng(0), 25)
+        assert len(events) == 25
+
+    def test_integrates_with_grid_pipeline(self, small_topology):
+        """The stream drives the standard clustering pipeline."""
+        from repro.clustering import ForgyKMeansClustering
+        from repro.grid import build_cell_set
+        from repro.matching import GridMatcher
+        from repro.workload import EvaluationSubscriptionModel
+
+        rng = np.random.default_rng(5)
+        subs = EvaluationSubscriptionModel(small_topology).generate(rng, 50)
+        gen = TradeStreamGenerator(
+            small_topology, space=subs.space, rng=np.random.default_rng(6)
+        )
+        cells = build_cell_set(subs.space, subs, gen.cell_pmf(), max_cells=200)
+        clustering = ForgyKMeansClustering().fit(cells, 8)
+        matcher = GridMatcher(clustering, subs)
+        for event in gen.stream(40):
+            matcher.match(event.point).validate_complete()
