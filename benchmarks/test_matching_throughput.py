@@ -7,7 +7,9 @@ strategies — vectorised brute force, the R-tree and the S-tree — as the
 subscription population grows, plus the full grid-matcher pipeline.
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -20,6 +22,17 @@ from conftest import print_banner
 
 POPULATIONS = (1000, 5000, 20000)
 N_QUERIES = 300
+
+#: where the before/after perf record is written (repo root, committed,
+#: so the trajectory of the hot path is tracked across PRs)
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_matching.json"
+
+#: wall-clock of the same workloads at the pre-batching seed commit
+#: (per-event matching, no cost memo, full-matrix argmin agglomeration)
+SEED_BASELINE = {
+    "evaluate_matcher_s": 0.134,
+    "pairwise_fit_m1500_s": 2.36,
+}
 
 
 def _measure(stab, points):
@@ -94,3 +107,109 @@ def test_grid_matcher_throughput(benchmark, eval_ctx):
     print(f"  {rate:.0f} events/second "
           f"({len(eval_ctx.scenario.subscriptions)} subscriptions, K=60)")
     assert rate > 200
+
+
+def test_batch_pipeline_record(benchmark):
+    """The Figure-7 hot path, before vs after batching.
+
+    Times the batched ``evaluate_matcher`` pipeline (vectorised matching +
+    memoised plan pricing) and the nearest-neighbour Pairwise Grouping
+    against the recorded seed baselines, then writes the numbers to
+    ``BENCH_matching.json`` so the perf trajectory survives across PRs.
+    """
+    from repro.clustering import ForgyKMeansClustering, PairwiseGroupingClustering
+    from repro.matching import GridMatcher
+    from repro.sim import ExperimentContext
+
+    scenario = build_evaluation_scenario(modes=1, n_subscriptions=1000, seed=0)
+    ctx = ExperimentContext(scenario, n_events=300)
+    cells = ctx.cells(2000)
+    clustering = ForgyKMeansClustering().fit(cells, 60)
+    matcher = GridMatcher(clustering, scenario.subscriptions)
+    points = [e.point for e in ctx.events]
+
+    def run():
+        ctx.reference_costs("dense")  # shared with the seed measurement
+
+        start = time.perf_counter()
+        for point in points:
+            matcher.match(point)
+        match_loop_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        matcher.match_batch(points)
+        match_batch_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        ctx.evaluate_matcher(matcher, "dense")
+        eval_cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        ctx.evaluate_matcher(matcher, "dense")
+        eval_warm_s = time.perf_counter() - start
+
+        # a Figure-9-style threshold sweep over the same clustering:
+        # after the cold pass, every (publisher, group) pair replays
+        # from the dispatcher memo
+        dispatcher = ctx.dispatcher("dense")
+        dispatcher.reset_cache_stats()
+        for threshold in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5):
+            sweep_matcher = GridMatcher(
+                clustering, scenario.subscriptions, threshold=threshold
+            )
+            ctx.evaluate_matcher(sweep_matcher, "dense")
+        sweep_cache = dispatcher.cache_info()
+
+        pair_cells = ctx.cells(1500)
+        start = time.perf_counter()
+        PairwiseGroupingClustering().fit(pair_cells, 40)
+        pairwise_s = time.perf_counter() - start
+
+        return {
+            "match_loop_s": match_loop_s,
+            "match_batch_s": match_batch_s,
+            "evaluate_matcher_cold_s": eval_cold_s,
+            "evaluate_matcher_warm_s": eval_warm_s,
+            "threshold_sweep_cache": sweep_cache,
+            "pairwise_fit_m1500_s": pairwise_s,
+            "pairwise_m": len(pair_cells),
+        }
+
+    current = benchmark.pedantic(run, rounds=1, iterations=1)
+    record = {
+        "config": {
+            "scenario": scenario.name,
+            "n_events": ctx.n_events,
+            "n_groups": 60,
+            "max_cells": 2000,
+            "pairwise_max_cells": 1500,
+            "pairwise_n_groups": 40,
+        },
+        "seed": SEED_BASELINE,
+        "current": current,
+        "speedup": {
+            "evaluate_matcher": SEED_BASELINE["evaluate_matcher_s"]
+            / current["evaluate_matcher_cold_s"],
+            "pairwise_fit": SEED_BASELINE["pairwise_fit_m1500_s"]
+            / current["pairwise_fit_m1500_s"],
+        },
+    }
+    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_banner("Batch pipeline vs seed (BENCH_matching.json)")
+    print(f"  match loop      {current['match_loop_s'] * 1e3:8.1f} ms")
+    print(f"  match batch     {current['match_batch_s'] * 1e3:8.1f} ms")
+    print(f"  evaluate cold   {current['evaluate_matcher_cold_s'] * 1e3:8.1f} ms "
+          f"(seed {SEED_BASELINE['evaluate_matcher_s'] * 1e3:.1f} ms, "
+          f"{record['speedup']['evaluate_matcher']:.1f}x)")
+    print(f"  evaluate warm   {current['evaluate_matcher_warm_s'] * 1e3:8.1f} ms")
+    print(f"  pairwise m=1500 {current['pairwise_fit_m1500_s'] * 1e3:8.1f} ms "
+          f"(seed {SEED_BASELINE['pairwise_fit_m1500_s'] * 1e3:.1f} ms, "
+          f"{record['speedup']['pairwise_fit']:.1f}x)")
+    print(f"  sweep cache hit rate "
+          f"{current['threshold_sweep_cache']['hit_rate']:.3f}")
+
+    # conservative guards (the acceptance numbers leave headroom for
+    # slower CI machines)
+    assert record["speedup"]["evaluate_matcher"] > 3.0
+    assert record["speedup"]["pairwise_fit"] > 2.0
+    assert current["threshold_sweep_cache"]["hit_rate"] > 0.9

@@ -63,6 +63,7 @@ class Clustering:
             probs[g] = self.cells.probs[members].sum()
         self.group_membership = membership
         self.group_probs = probs
+        self._member_lists: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -73,12 +74,44 @@ class Clustering:
         """Subscriber ids composing a multicast group."""
         return np.nonzero(self.group_membership[group])[0]
 
+    def group_member_lists(self) -> List[np.ndarray]:
+        """Per-group subscriber id arrays (sorted), computed once.
+
+        The matchers build one delivery plan per event; sharing these
+        arrays keeps plan assembly at a lookup instead of a
+        ``np.nonzero`` per event, and lets the dispatcher's cost cache
+        key repeated groups cheaply.
+        """
+        if self._member_lists is None:
+            self._member_lists = [
+                np.nonzero(self.group_membership[g])[0]
+                for g in range(self.n_groups)
+            ]
+        return self._member_lists
+
     def group_of_grid_cell(self, flat_cell: int) -> int:
         """Multicast group of a flat grid cell (-1 when unassigned)."""
         hypercell = int(self.cells.hypercell_of_cell[flat_cell])
         if hypercell < 0:
             return -1
         return int(self.assignment[hypercell])
+
+    def groups_of_grid_cells(self, flat_cells: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`group_of_grid_cell` over many flat cells.
+
+        ``-1`` entries (events outside the grid) and cells without a
+        hyper-cell map to ``-1``.
+        """
+        flat = np.asarray(flat_cells, dtype=np.int64)
+        groups = np.full(flat.shape, -1, dtype=np.int64)
+        valid = flat >= 0
+        if valid.any():
+            hyper = self.cells.hypercell_of_cell[flat[valid]].astype(np.int64)
+            assigned = np.where(
+                hyper >= 0, self.assignment[np.maximum(hyper, 0)], -1
+            )
+            groups[valid] = assigned
+        return groups
 
     def group_sizes(self) -> np.ndarray:
         """Number of subscribers in each group."""

@@ -192,6 +192,9 @@ class KMeansClustering(_KMeansBase):
         probs = np.zeros(n_groups, dtype=np.float64)
         n_cells_in = np.zeros(n_groups, dtype=np.int64)
         cell_membership_int = cells.membership.astype(np.int32)
+        # float32 rows are consumed by the inner-loop matmul below;
+        # convert the whole matrix once instead of once per cell visit
+        cell_membership_f32 = cells.membership.astype(np.float32)
         for g in range(n_groups):
             members = assignment == g
             counts[g] = cell_membership_int[members].sum(axis=0)
@@ -208,7 +211,7 @@ class KMeansClustering(_KMeansBase):
                 current = int(assignment[cell])
                 if n_cells_in[current] <= 1:
                     continue  # last hyper-cell of its group cannot move
-                s_cell = membership_f32 @ cells.membership[cell].astype(np.float32)
+                s_cell = membership_f32 @ cell_membership_f32[cell]
                 distances = cells.probs[cell] * (group_sizes - s_cell)
                 distances += probs * (cell_sizes[cell] - s_cell)
                 target = int(np.argmin(distances))

@@ -25,7 +25,7 @@ coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +66,13 @@ class Dispatcher:
         self.subscriptions = subscriptions
         self.scheme = scheme
         self._core = core
+        # multicast-cost memo: a clustering's group node-sets are frozen,
+        # so the cost of reaching a group from a given publisher never
+        # changes — price it once and replay it for every later event
+        self._group_cost_cache: Dict[Tuple[int, bytes], float] = {}
+        self._group_nodes_cache: Dict[bytes, np.ndarray] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def core(self) -> int:
@@ -80,17 +87,80 @@ class Dispatcher:
         total = 0.0
         covered_nodes: List[np.ndarray] = []
         for members in plan.group_members:
-            nodes = self.subscriptions.nodes_of_subscribers(members)
+            nodes = self.group_nodes(members)
             covered_nodes.append(nodes)
-            total += self._group_cost(publisher, nodes)
+            total += self.group_cost(publisher, nodes)
         unicast_nodes = self.subscriptions.nodes_of_subscribers(
             plan.unicast_subscribers
         )
         if covered_nodes:
-            already = np.unique(np.concatenate(covered_nodes))
-            unicast_nodes = np.setdiff1d(unicast_nodes, already)
+            already = (
+                covered_nodes[0]
+                if len(covered_nodes) == 1
+                else np.unique(np.concatenate(covered_nodes))
+            )
+            unicast_nodes = np.setdiff1d(
+                unicast_nodes, already, assume_unique=True
+            )
         total += unicast_cost(self.routing, publisher, unicast_nodes)
         return total
+
+    def plan_costs(
+        self, publishers: Sequence[int], plans: Sequence[DeliveryPlan]
+    ) -> np.ndarray:
+        """Costs of many plans at once (the batch-evaluation entry point).
+
+        The per-``(publisher, node-set)`` memo means each of a
+        clustering's K group trees is priced once per publisher instead of
+        once per event.
+        """
+        if len(publishers) != len(plans):
+            raise ValueError("publishers / plans length mismatch")
+        return np.array(
+            [
+                self.plan_cost(int(publisher), plan)
+                for publisher, plan in zip(publishers, plans)
+            ],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    def group_nodes(self, members: Sequence[int]) -> np.ndarray:
+        """Unique network nodes of a (frozen) member set, memoised."""
+        arr = np.asarray(members, dtype=np.int64)
+        key = arr.tobytes()
+        nodes = self._group_nodes_cache.get(key)
+        if nodes is None:
+            nodes = self.subscriptions.nodes_of_subscribers(arr)
+            self._group_nodes_cache[key] = nodes
+        return nodes
+
+    def group_cost(self, publisher: int, nodes: np.ndarray) -> float:
+        """Memoised multicast cost of one ``(publisher, node-set)`` pair."""
+        key = (publisher, nodes.tobytes())
+        cost = self._group_cost_cache.get(key)
+        if cost is None:
+            self.cache_misses += 1
+            cost = self._group_cost(publisher, nodes)
+            self._group_cost_cache[key] = cost
+        else:
+            self.cache_hits += 1
+        return cost
+
+    def cache_info(self) -> Dict[str, float]:
+        """Hit/miss counters of the multicast-cost memo (for benchmarks)."""
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._group_cost_cache),
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+        }
+
+    def reset_cache_stats(self) -> None:
+        """Zero the hit/miss counters (the memo itself is kept)."""
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _group_cost(self, publisher: int, nodes) -> float:
         """Cost of one multicast transmission under the active scheme."""
@@ -104,10 +174,19 @@ class Dispatcher:
     # reference schemes of Tables 1 and 2
     # ------------------------------------------------------------------
     def unicast_reference(
-        self, publisher: int, interested: Sequence[int]
+        self,
+        publisher: int,
+        interested: Sequence[int],
+        nodes: Optional[np.ndarray] = None,
     ) -> float:
-        """Pure unicast to every interested subscriber's node."""
-        nodes = self.subscriptions.nodes_of_subscribers(interested)
+        """Pure unicast to every interested subscriber's node.
+
+        ``nodes`` may supply the precomputed node set of ``interested``
+        (the experiment context resolves each event's nodes once and
+        reuses them across all three reference costs and schemes).
+        """
+        if nodes is None:
+            nodes = self.subscriptions.nodes_of_subscribers(interested)
         return unicast_cost(self.routing, publisher, nodes)
 
     def broadcast_reference(self, publisher: int) -> float:
@@ -115,15 +194,20 @@ class Dispatcher:
         return broadcast_cost(self.routing, publisher)
 
     def ideal_reference(
-        self, publisher: int, interested: Sequence[int]
+        self,
+        publisher: int,
+        interested: Sequence[int],
+        nodes: Optional[np.ndarray] = None,
     ) -> float:
         """Per-event ideal multicast group (exactly the interested nodes).
 
         Under the ``alm`` scheme the ideal group still communicates over
         an overlay MST, mirroring how the achievable optimum differs
-        between the two frameworks.
+        between the two frameworks.  ``nodes`` may supply the precomputed
+        node set of ``interested``.
         """
-        nodes = self.subscriptions.nodes_of_subscribers(interested)
+        if nodes is None:
+            nodes = self.subscriptions.nodes_of_subscribers(interested)
         if len(nodes) == 0:
             return 0.0
         if self.scheme == "dense":

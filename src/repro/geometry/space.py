@@ -82,6 +82,8 @@ class EventSpace:
             [int(np.prod(self.shape[i + 1 :])) for i in range(len(self.shape))],
             dtype=np.int64,
         )
+        self._dim_los = np.array([d.lo for d in self.dimensions], dtype=np.float64)
+        self._dim_his = np.array([d.hi for d in self.dimensions], dtype=np.float64)
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +127,30 @@ class EventSpace:
                 return -1
             coords.append(c)
         return self.flat_index(coords)
+
+    def locate_batch(self, points: Sequence[Sequence[float]]) -> np.ndarray:
+        """Flat cell indices of many points at once (-1 when outside).
+
+        Vectorised equivalent of calling :meth:`locate` per point; the
+        batch matchers use it to place a whole event sample on the grid in
+        a handful of numpy passes.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.size == 0:
+            pts = pts.reshape(0, self.n_dims)
+        if pts.ndim != 2 or pts.shape[1] != self.n_dims:
+            raise ValueError("points must be an (E, n_dims) array-like")
+        inside = np.all(
+            (pts > self._dim_los - 1.0) & (pts <= self._dim_his), axis=1
+        )
+        # clip before casting so outside points (masked to -1 below) cannot
+        # overflow the integer conversion
+        coords = np.clip(
+            np.ceil(pts - self._dim_los), 0, np.asarray(self.shape) - 1
+        ).astype(np.int64)
+        flat = coords @ self._strides
+        flat[~inside] = -1
+        return flat
 
     def cell_rectangle(self, index: int) -> Rectangle:
         """The half-open unit rectangle of a grid cell."""

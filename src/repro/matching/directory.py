@@ -16,13 +16,14 @@ against the memory of the retained directory.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..clustering import Clustering
 from ..grid import build_membership_matrix
 from ..workload import SubscriptionSet
+from .matchers import threshold_plan
 from .plan import DeliveryPlan
 
 __all__ = ["DirectoryMatcher"]
@@ -55,11 +56,8 @@ class DirectoryMatcher:
         ):
             raise ValueError("membership matrix shape mismatch")
         self._directory = membership
-        # per-group member id arrays, precomputed once
-        self._group_members = [
-            clustering.subscribers_of_group(g)
-            for g in range(clustering.n_groups)
-        ]
+        # per-group member id arrays, shared with the clustering's cache
+        self._group_members = clustering.group_member_lists()
         self._group_sizes = np.array(
             [len(m) for m in self._group_members], dtype=np.int64
         )
@@ -76,27 +74,54 @@ class DirectoryMatcher:
             )
         interested = np.nonzero(self._directory[cell])[0]
         group = self.clustering.group_of_grid_cell(cell)
-        if group < 0:
-            return DeliveryPlan(
-                interested=interested, unicast_subscribers=interested
-            )
-        members = self._group_members[group]
-        interested_members = np.intersect1d(
-            interested, members, assume_unique=True
+        return threshold_plan(
+            interested,
+            group,
+            self._group_members,
+            self._group_sizes,
+            self.threshold,
+            group_masks=self.clustering.group_membership,
         )
-        size = int(self._group_sizes[group])
-        proportion = len(interested_members) / size if size else 0.0
-        if len(interested_members) == 0 or proportion <= self.threshold:
-            return DeliveryPlan(
-                interested=interested, unicast_subscribers=interested
+
+    def match_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        interested: Optional[Sequence[np.ndarray]] = None,
+    ) -> List[DeliveryPlan]:
+        """Batch matching: vectorised cell location, then one directory
+        row lookup per event.
+
+        ``interested`` is only consulted for off-lattice events (the
+        rectangle-test fallback); on-grid events always read the
+        directory, exactly like :meth:`match`.
+        """
+        cells = self._space.locate_batch(points)
+        groups = self.clustering.groups_of_grid_cells(cells)
+        masks = self.clustering.group_membership
+        plans: List[DeliveryPlan] = []
+        for e, (cell, group) in enumerate(zip(cells, groups)):
+            if cell < 0:
+                ids = (
+                    interested[e]
+                    if interested is not None
+                    else self.subscriptions.interested_subscribers(points[e])
+                )
+                plans.append(
+                    DeliveryPlan(interested=ids, unicast_subscribers=ids)
+                )
+                continue
+            ids = np.nonzero(self._directory[cell])[0]
+            plans.append(
+                threshold_plan(
+                    ids,
+                    int(group),
+                    self._group_members,
+                    self._group_sizes,
+                    self.threshold,
+                    group_masks=masks,
+                )
             )
-        uncovered = np.setdiff1d(interested, members, assume_unique=True)
-        return DeliveryPlan(
-            interested=interested,
-            group_ids=[group],
-            group_members=[members],
-            unicast_subscribers=uncovered,
-        )
+        return plans
 
     # ------------------------------------------------------------------
     @property

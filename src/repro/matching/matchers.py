@@ -17,7 +17,7 @@ Three matchers share the interface ``match(point) -> DeliveryPlan``:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +26,59 @@ from ..workload import SubscriptionSet
 from .plan import DeliveryPlan
 from .rtree import RTree
 
-__all__ = ["BruteForceMatcher", "GridMatcher", "NoLossMatcher"]
+__all__ = [
+    "BruteForceMatcher",
+    "GridMatcher",
+    "NoLossMatcher",
+    "threshold_plan",
+]
+
+
+def threshold_plan(
+    interested: np.ndarray,
+    group: int,
+    group_members: Sequence[np.ndarray],
+    group_sizes: np.ndarray,
+    threshold: float,
+    group_masks: Optional[np.ndarray] = None,
+) -> DeliveryPlan:
+    """Assemble one Figure-5 delivery plan from precomputed group state.
+
+    ``group`` is the multicast group of the event's grid cell (or ``-1``);
+    ``group_members``/``group_sizes`` are the per-group sorted subscriber
+    arrays and their lengths.  ``group_masks`` may supply the boolean
+    group-membership matrix, turning both set operations into a single
+    gather over the interested ids.  Shared by :class:`GridMatcher` and
+    :class:`~repro.matching.DirectoryMatcher`, per event and in batch.
+    """
+    if group < 0:
+        return DeliveryPlan(
+            interested=interested, unicast_subscribers=interested
+        )
+    members = group_members[group]
+    size = int(group_sizes[group])
+    if group_masks is not None:
+        in_group = group_masks[group][interested]
+        n_interested_members = int(in_group.sum())
+    else:
+        n_interested_members = len(
+            np.intersect1d(interested, members, assume_unique=True)
+        )
+    proportion = n_interested_members / size if size else 0.0
+    if n_interested_members == 0 or proportion <= threshold:
+        return DeliveryPlan(
+            interested=interested, unicast_subscribers=interested
+        )
+    if group_masks is not None:
+        uncovered = interested[~in_group]
+    else:
+        uncovered = np.setdiff1d(interested, members, assume_unique=True)
+    return DeliveryPlan(
+        interested=interested,
+        group_ids=[int(group)],
+        group_members=[members],
+        unicast_subscribers=uncovered,
+    )
 
 
 class BruteForceMatcher:
@@ -40,6 +92,27 @@ class BruteForceMatcher:
         return DeliveryPlan(
             interested=interested, unicast_subscribers=interested
         )
+
+    def match_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        interested: Optional[Sequence[np.ndarray]] = None,
+    ) -> List[DeliveryPlan]:
+        """Plans for many events at once.
+
+        ``interested`` may supply the per-event interest sets (e.g. the
+        experiment context's precomputed
+        :meth:`~repro.workload.SubscriptionSet.batch_interested_subscribers`
+        output) to skip recomputing them.
+        """
+        if interested is None:
+            interested = self.subscriptions.batch_interested_subscribers(
+                points
+            )
+        return [
+            DeliveryPlan(interested=ids, unicast_subscribers=ids)
+            for ids in interested
+        ]
 
 
 class GridMatcher:
@@ -63,33 +136,49 @@ class GridMatcher:
         self.subscriptions = subscriptions
         self.threshold = threshold
         self._space = subscriptions.space
+        self._group_members = clustering.group_member_lists()
+        self._group_sizes = np.array(
+            [len(m) for m in self._group_members], dtype=np.int64
+        )
 
     def match(self, point: Sequence[float]) -> DeliveryPlan:
         interested = self.subscriptions.interested_subscribers(point)
         cell = self._space.locate(point)
         group = self.clustering.group_of_grid_cell(cell) if cell >= 0 else -1
-        if group < 0:
-            return DeliveryPlan(
-                interested=interested, unicast_subscribers=interested
+        return threshold_plan(
+            interested,
+            group,
+            self._group_members,
+            self._group_sizes,
+            self.threshold,
+            group_masks=self.clustering.group_membership,
+        )
+
+    def match_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        interested: Optional[Sequence[np.ndarray]] = None,
+    ) -> List[DeliveryPlan]:
+        """Plans for many events in one pass (vectorised cell location and
+        group lookup; optional precomputed per-event interest sets)."""
+        if interested is None:
+            interested = self.subscriptions.batch_interested_subscribers(
+                points
             )
-        members = self.clustering.subscribers_of_group(group)
-        interested_members = np.intersect1d(
-            interested, members, assume_unique=True
-        )
-        proportion = (
-            len(interested_members) / len(members) if len(members) else 0.0
-        )
-        if len(interested_members) == 0 or proportion <= self.threshold:
-            return DeliveryPlan(
-                interested=interested, unicast_subscribers=interested
+        cells = self._space.locate_batch(points)
+        groups = self.clustering.groups_of_grid_cells(cells)
+        masks = self.clustering.group_membership
+        return [
+            threshold_plan(
+                ids,
+                int(group),
+                self._group_members,
+                self._group_sizes,
+                self.threshold,
+                group_masks=masks,
             )
-        uncovered = np.setdiff1d(interested, members, assume_unique=True)
-        return DeliveryPlan(
-            interested=interested,
-            group_ids=[group],
-            group_members=[members],
-            unicast_subscribers=uncovered,
-        )
+            for ids, group in zip(interested, groups)
+        ]
 
 
 class NoLossMatcher:
@@ -109,7 +198,25 @@ class NoLossMatcher:
 
     def match(self, point: Sequence[float]) -> DeliveryPlan:
         interested = self.subscriptions.interested_subscribers(point)
-        region = self._locate(point)
+        return self._assemble(interested, self._locate(point))
+
+    def match_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        interested: Optional[Sequence[np.ndarray]] = None,
+    ) -> List[DeliveryPlan]:
+        """Plans for many events at once (shared interest pass; region
+        stabbing stays per event — the R-tree makes it cheap)."""
+        if interested is None:
+            interested = self.subscriptions.batch_interested_subscribers(
+                points
+            )
+        return [
+            self._assemble(ids, self._locate(point))
+            for ids, point in zip(interested, points)
+        ]
+
+    def _assemble(self, interested: np.ndarray, region: int) -> DeliveryPlan:
         if region < 0:
             return DeliveryPlan(
                 interested=interested, unicast_subscribers=interested

@@ -67,6 +67,35 @@ class DeliveryPlan:
         """Interested subscribers the plan fails to reach (should be none)."""
         return np.setdiff1d(np.asarray(self.interested), self.covered_subscribers())
 
+    def audit(self) -> int:
+        """Validate completeness and return the wasted-delivery count.
+
+        One shared pass over the covered set replaces the separate
+        :meth:`validate_complete` + :meth:`wasted_deliveries` calls on the
+        experiment hot path.  Assumes ``interested`` is sorted and unique,
+        as every matcher produces it.
+        """
+        if not self.group_members and self.unicast_subscribers is self.interested:
+            return 0  # pure-unicast plan reusing the interest array
+        covered = self.covered_subscribers()
+        interested = np.asarray(self.interested, dtype=np.int64)
+        if interested.size:
+            if covered.size == 0:
+                raise AssertionError(
+                    "delivery plan misses interested subscribers: "
+                    f"{interested[:10]}"
+                )
+            idx = np.searchsorted(covered, interested)
+            present = (idx < covered.size) & (
+                covered[np.minimum(idx, covered.size - 1)] == interested
+            )
+            if not present.all():
+                raise AssertionError(
+                    "delivery plan misses interested subscribers: "
+                    f"{interested[~present][:10]}"
+                )
+        return int(covered.size - interested.size)
+
     def validate_complete(self) -> None:
         """Raise if any interested subscriber is left unreached."""
         missed = self.missed_subscribers()

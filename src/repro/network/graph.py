@@ -80,6 +80,24 @@ class ShortestPaths:
     source: int
     dist: List[float]
     pred: List[int]
+    _dist_np: Optional["np.ndarray"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pred_np: Optional["np.ndarray"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _full_tree_cost: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def arrays(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """``(dist, pred)`` as numpy arrays (built once, then cached)."""
+        if self._dist_np is None:
+            import numpy as np
+
+            self._dist_np = np.asarray(self.dist, dtype=np.float64)
+            self._pred_np = np.asarray(self.pred, dtype=np.int64)
+        return self._dist_np, self._pred_np
 
     def path_to(self, target: int) -> List[int]:
         """Node sequence from the source to ``target`` (inclusive)."""
@@ -102,22 +120,52 @@ class ShortestPaths:
         target set it is the dense-mode multicast cost of delivering to
         exactly those nodes: the sum of edge costs over the union of the
         root-to-target paths.
+
+        The walk towards the root is vectorised level by level: each pass
+        charges the tree edges of the current frontier and replaces it
+        with the not-yet-visited parents, so the Python-level iteration
+        count is the tree depth, not the number of tree edges.
         """
+        import numpy as np
+
+        dist, pred = self.arrays()
         if targets is None:
-            targets = [v for v in range(len(self.dist)) if self.reachable(v)]
-        visited = {self.source}
-        total = 0.0
-        for target in targets:
-            if math.isinf(self.dist[target]):
-                raise ValueError(
-                    f"node {target} unreachable from {self.source}"
+            if self._full_tree_cost is None:
+                reachable = np.isfinite(dist)
+                reachable[self.source] = False
+                nodes = np.nonzero(reachable)[0]
+                self._full_tree_cost = float(
+                    np.sum(dist[nodes] - dist[pred[nodes]])
                 )
-            node = target
-            while node not in visited:
-                parent = self.pred[node]
-                total += self.dist[node] - self.dist[parent]
-                visited.add(node)
-                node = parent
+            return self._full_tree_cost
+        frontier = np.asarray(
+            targets if isinstance(targets, np.ndarray) else list(targets),
+            dtype=np.int64,
+        )
+        if frontier.size == 0:
+            return 0.0
+        bad = np.isinf(dist[frontier])
+        if bad.any():
+            target = int(frontier[bad][0])
+            raise ValueError(f"node {target} unreachable from {self.source}")
+        n = len(dist)
+        visited = np.zeros(n, dtype=bool)
+        visited[self.source] = True
+        level_mask = np.zeros(n, dtype=bool)
+        total = 0.0
+        while frontier.size:
+            # boolean scatter both deduplicates the frontier and drops
+            # already-visited nodes in O(n), avoiding a sort per level
+            level_mask[frontier] = True
+            level_mask &= ~visited
+            level = np.nonzero(level_mask)[0]
+            level_mask[level] = False
+            if level.size == 0:
+                break
+            visited[level] = True
+            parents = pred[level]
+            total += float(np.sum(dist[level] - dist[parents]))
+            frontier = parents[~visited[parents]]
         return total
 
 

@@ -51,13 +51,20 @@ def unicast_cost(
     network cost), so targets are de-duplicated.
     """
     sp = routing.shortest_paths(publisher)
-    total = 0.0
-    for node in _unique_nodes(targets):
-        d = sp.dist[node]
-        if math.isinf(d):
-            raise ValueError(f"node {node} unreachable from publisher {publisher}")
-        total += d
-    return total
+    nodes = np.asarray(
+        targets if isinstance(targets, np.ndarray) else list(targets),
+        dtype=np.int64,
+    )
+    if nodes.size == 0:
+        return 0.0
+    nodes = np.unique(nodes)
+    dist, _ = sp.arrays()
+    d = dist[nodes]
+    bad = np.isinf(d)
+    if bad.any():
+        node = int(nodes[bad][0])
+        raise ValueError(f"node {node} unreachable from publisher {publisher}")
+    return float(d.sum())
 
 
 def broadcast_cost(routing: RoutingTables, publisher: int) -> float:

@@ -89,9 +89,17 @@ class ExperimentContext:
         }
         self._cells: Dict[Optional[int], CellSet] = {}
         self._references: Dict[str, Tuple[float, float, float]] = {}
+        self._points: List[Tuple[int, ...]] = [e.point for e in self._events]
+        self._publishers: List[int] = [e.publisher for e in self._events]
         self._interested = scenario.subscriptions.batch_interested_subscribers(
-            [e.point for e in self._events]
+            self._points
         )
+        # per-event interested node sets, resolved once and shared by the
+        # reference costs of every scheme
+        self._event_nodes: List[np.ndarray] = [
+            scenario.subscriptions.nodes_of_subscribers(ids)
+            for ids in self._interested
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -118,28 +126,42 @@ class ExperimentContext:
         if scheme not in self._references:
             dispatcher = self.dispatcher(scheme)
             unicast = broadcast = ideal = 0.0
-            for event, interested in zip(self._events, self._interested):
+            for event, interested, nodes in zip(
+                self._events, self._interested, self._event_nodes
+            ):
                 unicast += dispatcher.unicast_reference(
-                    event.publisher, interested
+                    event.publisher, interested, nodes=nodes
                 )
                 broadcast += dispatcher.broadcast_reference(event.publisher)
                 ideal += dispatcher.ideal_reference(
-                    event.publisher, interested
+                    event.publisher, interested, nodes=nodes
                 )
             n = len(self._events)
             self._references[scheme] = (unicast / n, broadcast / n, ideal / n)
         return self._references[scheme]
 
     def evaluate_matcher(self, matcher, scheme: str) -> CostSummary:
-        """Mean per-event cost of a matcher's plans under a scheme."""
+        """Mean per-event cost of a matcher's plans under a scheme.
+
+        Matchers exposing ``match_batch`` are driven through it, reusing
+        the context's precomputed per-event interest sets; the dispatcher
+        prices all plans in one batch against its multicast-cost memo.
+        """
         dispatcher = self.dispatcher(scheme)
-        total = 0.0
-        wasted = 0.0
-        for event in self._events:
-            plan = matcher.match(event.point)
-            plan.validate_complete()
-            total += dispatcher.plan_cost(event.publisher, plan)
-            wasted += plan.wasted_deliveries()
+        reuse_interest = (
+            getattr(matcher, "subscriptions", None)
+            is self.scenario.subscriptions
+        )
+        if hasattr(matcher, "match_batch"):
+            plans = matcher.match_batch(
+                self._points,
+                interested=self._interested if reuse_interest else None,
+            )
+        else:
+            plans = [matcher.match(point) for point in self._points]
+        costs = dispatcher.plan_costs(self._publishers, plans)
+        wasted = float(sum(plan.audit() for plan in plans))
+        total = float(costs.sum())
         unicast, broadcast, ideal = self.reference_costs(scheme)
         n = len(self._events)
         return CostSummary(

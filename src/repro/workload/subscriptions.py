@@ -142,6 +142,8 @@ class SubscriptionSet:
         Equivalent to calling :meth:`interested_subscribers` per point.
         """
         pts = np.asarray(points, dtype=np.float64)
+        if pts.size == 0:
+            pts = pts.reshape(0, self.space.n_dims)
         if pts.ndim != 2 or pts.shape[1] != self.space.n_dims:
             raise ValueError("points must be an (E, n_dims) array-like")
         # (E, k): subscription j matches event e

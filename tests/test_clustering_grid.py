@@ -267,6 +267,43 @@ class TestPairwiseSpecifics:
             ours.setdefault(int(group), []).append(cell)
         assert sorted(sorted(g) for g in ours.values()) == oracle
 
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_full_matrix_argmin(self, seed):
+        """The maintained nearest-neighbour selection reproduces the
+        row-major full-matrix ``argmin`` merge-for-merge, including
+        tie-breaking, on randomised inputs."""
+        from repro.clustering.pairwise import _AgglomerativeState
+
+        rng = np.random.default_rng(seed)
+        space = EventSpace([Dimension("x", 0, 9), Dimension("y", 0, 9)])
+        specs = []
+        for node in range(24):
+            lo = rng.integers(-1, 8, size=2)
+            hi = lo + rng.integers(1, 4, size=2)
+            subs_bounds = [
+                (float(lo[0]), float(min(hi[0], 9))),
+                (float(lo[1]), float(min(hi[1], 9))),
+            ]
+            specs.append((node % 5, subs_bounds))
+        subs = make_subscription_set(space, specs)
+        pmf = np.full(space.n_cells, 1.0 / space.n_cells)
+        cells = build_cell_set(space, subs, pmf)
+        k = 4
+        if len(cells) <= k:
+            pytest.skip("not enough hyper-cells for this seed")
+
+        # reference: one full-matrix argmin per merge (the seed algorithm)
+        state = _AgglomerativeState(cells)
+        m = len(cells)
+        while state.n_active > k:
+            flat = int(np.argmin(state.distances))
+            i, j = divmod(flat, m)
+            state.merge(i, j)
+        reference = state.assignment()
+
+        ours = PairwiseGroupingClustering().fit(cells, k)
+        np.testing.assert_array_equal(ours.assignment, reference)
+
     def test_approximate_close_to_exact(self, cells):
         exact = PairwiseGroupingClustering().fit(cells, 3)
         approx = ApproximatePairwiseClustering().fit(

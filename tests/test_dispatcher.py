@@ -153,3 +153,65 @@ class TestReferenceSchemes:
         uni = dispatcher.unicast_reference(0, interested)
         cost = dispatcher.plan_cost(0, plan)
         assert ideal - 1e-9 <= cost <= uni + 1e-9
+
+
+class TestCostMemo:
+    def _plan(self):
+        interested = np.array([0, 1, 2])
+        return DeliveryPlan(
+            interested=interested,
+            group_ids=[0],
+            group_members=[np.array([0, 1])],
+            unicast_subscribers=np.array([2]),
+        )
+
+    def test_repeat_pricing_hits_cache(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        first = dispatcher.plan_cost(0, self._plan())
+        assert dispatcher.cache_info()["misses"] == 1
+        assert dispatcher.cache_info()["hits"] == 0
+        second = dispatcher.plan_cost(0, self._plan())
+        assert second == pytest.approx(first)
+        info = dispatcher.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["entries"] == 1
+        assert info["hit_rate"] == pytest.approx(0.5)
+
+    def test_distinct_publishers_miss(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        dispatcher.plan_cost(0, self._plan())
+        dispatcher.plan_cost(1, self._plan())
+        assert dispatcher.cache_info()["misses"] == 2
+
+    def test_plan_costs_batch_matches_loop(self, line_setup):
+        routing, subs = line_setup
+        batch = Dispatcher(routing, subs, "dense")
+        loop = Dispatcher(routing, subs, "dense")
+        publishers = [0, 1, 0, 2]
+        plans = [self._plan() for _ in publishers]
+        costs = batch.plan_costs(publishers, plans)
+        expected = [loop.plan_cost(p, pl) for p, pl in zip(publishers, plans)]
+        np.testing.assert_allclose(costs, expected)
+        # four events, one distinct (publisher, nodes) pair per publisher
+        assert batch.cache_info()["misses"] == 3
+        assert batch.cache_info()["hits"] == 1
+
+    def test_plan_costs_length_mismatch(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        with pytest.raises(ValueError):
+            dispatcher.plan_costs([0, 1], [self._plan()])
+
+    def test_reset_keeps_memo(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        dispatcher.plan_cost(0, self._plan())
+        dispatcher.reset_cache_stats()
+        info = dispatcher.cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert info["entries"] == 1
+        dispatcher.plan_cost(0, self._plan())
+        assert dispatcher.cache_info()["hits"] == 1
