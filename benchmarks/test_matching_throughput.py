@@ -213,3 +213,92 @@ def test_batch_pipeline_record(benchmark):
     assert record["speedup"]["evaluate_matcher"] > 3.0
     assert record["speedup"]["pairwise_fit"] > 2.0
     assert current["threshold_sweep_cache"]["hit_rate"] > 0.9
+
+
+#: JSONL trace of the instrumentation-overhead benchmark (uploaded as a
+#: CI artifact alongside BENCH_matching.json)
+BENCH_TRACE = Path(__file__).resolve().parent.parent / "BENCH_trace.jsonl"
+
+
+def test_instrumentation_overhead(benchmark, eval_ctx):
+    """Tracing must stay near-free on the evaluation hot path.
+
+    Times the warm ``evaluate_matcher`` pipeline (batch matching +
+    memoised plan pricing) with the tracer disabled and enabled,
+    records the ratio into ``BENCH_matching.json`` and writes the JSONL
+    trace of the enabled pass to ``BENCH_trace.jsonl``.  Spans sit at
+    batch granularity, so the enabled run adds a handful of
+    ``perf_counter_ns`` calls per sweep — the ratio guard fails the
+    build if instrumentation ever creeps into the per-event loop.
+    """
+    from repro.clustering import ForgyKMeansClustering
+    from repro.matching import GridMatcher
+    from repro.obs import (
+        RunManifest,
+        disable_tracing,
+        enable_tracing,
+        get_registry,
+        get_tracer,
+        write_jsonl,
+    )
+
+    cells = eval_ctx.cells(2000)
+    clustering = ForgyKMeansClustering().fit(cells, 60)
+    matcher = GridMatcher(clustering, eval_ctx.scenario.subscriptions)
+    reps = 15
+
+    def one_pass():
+        start = time.perf_counter()
+        eval_ctx.evaluate_matcher(matcher, "dense")
+        return time.perf_counter() - start
+
+    def run():
+        # interleave the two modes so CPU-frequency / cache drift hits
+        # both equally; best-of filters scheduler noise
+        eval_ctx.evaluate_matcher(matcher, "dense")  # warm every memo
+        disabled_s = enabled_s = float("inf")
+        try:
+            for _ in range(reps):
+                disable_tracing()
+                disabled_s = min(disabled_s, one_pass())
+                enable_tracing(clear=False)
+                enabled_s = min(enabled_s, one_pass())
+        finally:
+            disable_tracing()
+        return disabled_s, enabled_s
+
+    disabled_s, enabled_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead_ratio = enabled_s / disabled_s
+
+    manifest = eval_ctx.manifest(argv=["benchmarks", "overhead"])
+    manifest.add_phase("evaluate_matcher_disabled", disabled_s, reps=reps)
+    manifest.add_phase("evaluate_matcher_enabled", enabled_s, reps=reps)
+    n_records = write_jsonl(
+        BENCH_TRACE,
+        tracer=get_tracer(),
+        registry=get_registry(),
+        manifest=manifest,
+    )
+
+    if BENCH_RECORD.exists():
+        record = json.loads(BENCH_RECORD.read_text())
+    else:  # pragma: no cover - test-ordering fallback
+        record = {}
+    record["instrumentation"] = {
+        "evaluate_matcher_disabled_s": disabled_s,
+        "evaluate_matcher_enabled_s": enabled_s,
+        "overhead_ratio": overhead_ratio,
+        "best_of": reps,
+    }
+    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_banner("Instrumentation overhead (warm evaluate_matcher)")
+    print(f"  tracing disabled {disabled_s * 1e3:8.2f} ms (best of {reps})")
+    print(f"  tracing enabled  {enabled_s * 1e3:8.2f} ms (best of {reps})")
+    print(f"  overhead         {100 * (overhead_ratio - 1):+8.2f} %")
+    print(f"  trace written    {BENCH_TRACE.name} ({n_records} records)")
+
+    assert overhead_ratio < 1.05, (
+        f"enabled tracing costs {100 * (overhead_ratio - 1):.1f}% on the "
+        f"eval hot path (budget: 5%)"
+    )

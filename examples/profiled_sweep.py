@@ -1,0 +1,74 @@
+"""Profiled sweep: a small Figure-7 run with the telemetry layer on.
+
+Runs a reduced group-count sweep (two grid algorithms, two group
+budgets) with span tracing enabled, then prints
+
+1. the usual improvement-percentage rows,
+2. the per-phase timing table — where the wall clock actually went
+   (cell-set build, clustering fits, matching, dispatch pricing),
+3. a few pipeline counters from the metrics registry,
+
+and optionally writes the full JSONL trace (run manifest + spans +
+metric samples) for offline analysis.
+
+Run with:  python examples/profiled_sweep.py [--trace sweep.jsonl]
+"""
+
+import argparse
+
+from repro.obs import disable_tracing, enable_tracing, get_registry, write_jsonl
+from repro.sim import (
+    ExperimentContext,
+    build_evaluation_scenario,
+    format_results,
+    phase_table,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH", help="also write the JSONL trace to PATH"
+    )
+    args = parser.parse_args()
+
+    scenario = build_evaluation_scenario(modes=1, n_subscriptions=400, seed=0)
+    ctx = ExperimentContext(scenario, n_events=60)
+    registry = get_registry()
+    registry.reset()
+
+    tracer = enable_tracing(clear=True)
+    try:
+        results = []
+        for name in ("kmeans", "pairs"):
+            for n_groups in (10, 40):
+                results.extend(
+                    ctx.run_grid_algorithm(
+                        name, n_groups, max_cells=600, schemes=("dense",)
+                    )
+                )
+    finally:
+        disable_tracing()
+
+    print(format_results(results))
+    print()
+    print(phase_table(tracer.spans(), title="Phase breakdown (fig7 sweep)"))
+
+    print()
+    print("pipeline counters:")
+    for record in registry.snapshot():
+        if record["type"] != "counter" or not record["value"]:
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in record["labels"].items())
+        print(f"  {record['name']}{{{labels}}} = {record['value']:.0f}")
+
+    if args.trace:
+        manifest = ctx.manifest()
+        n = write_jsonl(
+            args.trace, tracer=tracer, registry=registry, manifest=manifest
+        )
+        print(f"\n({n} trace records written to {args.trace})")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,8 @@ The package builds the full pipeline of the paper:
 - :mod:`repro.matching` — R-tree index and the event matchers
   (section 4.6);
 - :mod:`repro.delivery` — plan execution and cost accounting;
+- :mod:`repro.obs` — metrics registry, span tracing and run manifests
+  (the observability layer every stage reports into);
 - :mod:`repro.sim` — scenario builders and the table/figure runners.
 
 Quickstart::
@@ -36,6 +38,7 @@ from . import (
     grid,
     matching,
     network,
+    obs,
     overlay,
     persistence,
     sim,
@@ -50,6 +53,7 @@ __all__ = [
     "grid",
     "matching",
     "network",
+    "obs",
     "overlay",
     "persistence",
     "sim",

@@ -13,6 +13,7 @@ routing; the network below it only forwards.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,7 @@ from ..geometry import EventSpace, Rectangle
 from ..grid import CellSet, build_cell_set
 from ..matching import DeliveryPlan, GridMatcher
 from ..network import RoutingTables
+from ..obs import get_tracer
 from ..workload import Subscription, SubscriptionSet
 from .stats import DeliveryStats
 
@@ -156,47 +158,55 @@ class ContentBroker:
             self._pending_changes = 0
             return
 
-        old_clustering = self._clustering
-        old_groups = self._group_node_sets() if old_clustering else None
-        self._external_of = sorted(self._active)
-        self._internal_of = {
-            ext: idx for idx, ext in enumerate(self._external_of)
-        }
-        subscriptions = []
-        for ext in self._external_of:
-            node, rectangle = self._active[ext]
-            subscriptions.append(
-                Subscription(self._internal_of[ext], node, rectangle)
+        start = time.perf_counter()
+        with get_tracer().span(
+            "broker.rebuild", n_subscriptions=len(self._active)
+        ) as span:
+            old_clustering = self._clustering
+            old_groups = self._group_node_sets() if old_clustering else None
+            self._external_of = sorted(self._active)
+            self._internal_of = {
+                ext: idx for idx, ext in enumerate(self._external_of)
+            }
+            subscriptions = []
+            for ext in self._external_of:
+                node, rectangle = self._active[ext]
+                subscriptions.append(
+                    Subscription(self._internal_of[ext], node, rectangle)
+                )
+            subs = SubscriptionSet(self.space, subscriptions)
+            cells = build_cell_set(
+                self.space, subs, self.cell_pmf,
+                max_cells=self.config.max_cells,
             )
-        subs = SubscriptionSet(self.space, subscriptions)
-        cells = build_cell_set(
-            self.space, subs, self.cell_pmf, max_cells=self.config.max_cells
-        )
-        algorithm = self._make_algorithm(old_clustering, cells)
-        self._clustering = algorithm.fit(cells, self.config.n_groups)
-        self._subscriptions = subs
-        self._matcher = GridMatcher(
-            self._clustering, subs, threshold=self.config.threshold
-        )
-        self._dispatcher = Dispatcher(
-            self.routing, subs, scheme=self.config.scheme
-        )
-        if self.config.adaptive:
-            previous_counts = (
-                self._policy.mode_counts if self._policy else None
+            algorithm = self._make_algorithm(old_clustering, cells)
+            self._clustering = algorithm.fit(cells, self.config.n_groups)
+            self._subscriptions = subs
+            self._matcher = GridMatcher(
+                self._clustering, subs, threshold=self.config.threshold
             )
-            self._policy = AdaptiveDeliveryPolicy(
-                self._dispatcher,
-                broadcast_penalty=self.config.broadcast_penalty,
+            self._dispatcher = Dispatcher(
+                self.routing, subs, scheme=self.config.scheme
             )
-            if previous_counts:
-                self._policy.mode_counts = previous_counts
-        self._pending_changes = 0
-        self.stats.n_rebuilds += 1
-        if old_groups is not None:
-            self.stats.group_membership_changes += self._membership_churn(
-                old_groups, self._group_node_sets()
-            )
+            if self.config.adaptive:
+                previous_counts = (
+                    self._policy.mode_counts if self._policy else None
+                )
+                self._policy = AdaptiveDeliveryPolicy(
+                    self._dispatcher,
+                    broadcast_penalty=self.config.broadcast_penalty,
+                )
+                if previous_counts:
+                    self._policy.mode_counts = previous_counts
+            self._pending_changes = 0
+            churn = 0
+            if old_groups is not None:
+                churn = self._membership_churn(
+                    old_groups, self._group_node_sets()
+                )
+            span.set("membership_changes", churn)
+            span.set("n_groups", self._clustering.n_groups)
+        self.stats.record_rebuild(time.perf_counter() - start, churn)
 
     def _group_node_sets(self):
         """Current groups as frozensets of *node* ids (node-level group

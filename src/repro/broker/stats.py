@@ -1,9 +1,19 @@
-"""Delivery statistics accumulated by the broker."""
+"""Delivery statistics accumulated by the broker.
+
+The dataclass keeps the per-broker running totals the tests and reports
+read directly; every fold also mirrors into the process-wide
+:mod:`repro.obs` registry (``broker_events_total``,
+``broker_rebuilds_total``, ``broker_membership_changes_total``,
+``broker_rebuild_seconds``) so broker activity shows up in the same
+snapshot as the rest of the pipeline.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict
+
+from ..obs import get_registry
 
 __all__ = ["DeliveryStats"]
 
@@ -26,6 +36,9 @@ class DeliveryStats:
     #: "overhead of managing a large number of multicast groups" that
     #: motivates the paper's limited group budget)
     group_membership_changes: int = 0
+    #: wall clock spent rebuilding the grouping state (cell-set build +
+    #: clustering fit + matcher/dispatcher construction)
+    total_rebuild_seconds: float = 0.0
 
     def record(
         self,
@@ -44,10 +57,33 @@ class DeliveryStats:
         self.total_wasted_deliveries += wasted
         if n_interested == 0:
             self.n_no_interest += 1
+            kind = "no_interest"
         elif used_multicast:
             self.n_multicast += 1
+            kind = "multicast"
         else:
             self.n_unicast_only += 1
+            kind = "unicast_only"
+        get_registry().counter(
+            "broker_events_total", "events delivered by brokers"
+        ).inc(kind=kind)
+
+    def record_rebuild(self, seconds: float, membership_changes: int) -> None:
+        """Fold one grouping rebuild (timing + join/leave churn)."""
+        self.n_rebuilds += 1
+        self.total_rebuild_seconds += float(seconds)
+        self.group_membership_changes += int(membership_changes)
+        registry = get_registry()
+        registry.counter(
+            "broker_rebuilds_total", "grouping rebuilds performed"
+        ).inc()
+        registry.counter(
+            "broker_membership_changes_total",
+            "subscriber join/leave operations across rebuilds",
+        ).inc(int(membership_changes))
+        registry.histogram(
+            "broker_rebuild_seconds", "wall clock of one grouping rebuild"
+        ).observe(float(seconds))
 
     @property
     def improvement_percentage(self) -> float:
@@ -79,4 +115,5 @@ class DeliveryStats:
             "multicast_rate": self.multicast_rate,
             "n_rebuilds": self.n_rebuilds,
             "group_membership_changes": self.group_membership_changes,
+            "total_rebuild_seconds": self.total_rebuild_seconds,
         }

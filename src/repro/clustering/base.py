@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..grid import CellSet
+from ..obs import get_registry, get_tracer
 
 __all__ = ["Clustering", "GridClusteringAlgorithm"]
 
@@ -162,3 +163,42 @@ class GridClusteringAlgorithm(abc.ABC):
         """Renumber group labels to a dense 0..n-1 range."""
         _, dense = np.unique(raw, return_inverse=True)
         return dense.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # observability helpers shared by every algorithm's fit()
+    # ------------------------------------------------------------------
+    def _fit_span(self, cells: CellSet, n_groups: int):
+        """Tracer span wrapping one fit (no-op while tracing is off)."""
+        return get_tracer().span(
+            "clustering.fit",
+            algorithm=self.name,
+            n_cells=len(cells),
+            n_groups=n_groups,
+        )
+
+    def _record_fit(
+        self,
+        iterations: Optional[int] = None,
+        merges: Optional[int] = None,
+        distance_evals: Optional[int] = None,
+    ) -> None:
+        """Fold one fit's work counters into the registry."""
+        registry = get_registry()
+        registry.counter(
+            "clustering_fit_total", "clustering fits performed"
+        ).inc(algorithm=self.name)
+        if iterations is not None:
+            registry.counter(
+                "clustering_iterations_total",
+                "refinement iterations across fits",
+            ).inc(iterations, algorithm=self.name)
+        if merges is not None:
+            registry.counter(
+                "clustering_merges_total",
+                "agglomerative merge steps across fits",
+            ).inc(merges, algorithm=self.name)
+        if distance_evals:
+            registry.counter(
+                "clustering_distance_evals_total",
+                "pairwise expected-waste distance evaluations",
+            ).inc(distance_evals)

@@ -23,6 +23,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..obs import get_registry
+
 __all__ = [
     "expected_waste",
     "pairwise_waste_matrix",
@@ -44,12 +46,26 @@ def expected_waste(
         raise ValueError("membership vectors must have equal length")
     only_b = np.count_nonzero(b & ~a)
     only_a = np.count_nonzero(a & ~b)
+    _count_evals(1)
     return float(prob_a) * only_b + float(prob_b) * only_a
 
 
 def _intersections(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
     """``|s(a) ∩ s(b)|`` for every row/col pair, via a float32 matmul."""
     return rows.astype(np.float32) @ cols.astype(np.float32).T
+
+
+def _count_evals(n: int) -> None:
+    """Record ``n`` pairwise distance evaluations in the registry.
+
+    Every vectorised kernel below funnels through this, so the counter
+    is the single source of truth for "how much distance work did a
+    clustering fit do" regardless of algorithm.
+    """
+    get_registry().counter(
+        "clustering_distance_evals_total",
+        "pairwise expected-waste distance evaluations",
+    ).inc(n)
 
 
 def pairwise_waste_matrix(
@@ -66,6 +82,7 @@ def pairwise_waste_matrix(
     if membership.ndim != 2 or len(probs) != len(membership):
         raise ValueError("membership must be (m, S) with matching probs")
     sizes = membership.sum(axis=1).astype(np.float32)
+    _count_evals(len(membership) * len(membership))
     # float32 throughout: the matrix is O(m^2) and the float64 temporaries
     # dominate the cost for m in the thousands; probabilities and set
     # sizes are far from the float32 precision limits
@@ -97,6 +114,7 @@ def waste_to_clusters(
     cluster_probs = np.asarray(cluster_probs, dtype=np.float64)
     cell_sizes = cell_membership.sum(axis=1).astype(np.float64)
     cluster_sizes = cluster_membership.sum(axis=1).astype(np.float64)
+    _count_evals(len(cell_membership) * len(cluster_membership))
     inter = _intersections(cell_membership, cluster_membership).astype(np.float64)
     waste = cell_probs[:, None] * (cluster_sizes[None, :] - inter)
     waste += cluster_probs[None, :] * (cell_sizes[:, None] - inter)

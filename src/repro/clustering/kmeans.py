@@ -116,27 +116,34 @@ class ForgyKMeansClustering(_KMeansBase):
         m = len(cells)
         if n_groups >= m:
             self.n_iterations_ = 0
+            self._record_fit(iterations=0)
             return Clustering(cells, np.arange(m, dtype=np.int64))
 
-        assignment = self._initial_assignment(cells, n_groups)
-        # a warm start may occupy fewer groups; iterate with exactly the
-        # groups present so empty groups never enter the distance kernel
-        n_groups = int(assignment.max()) + 1
-        for iteration in range(1, self.max_iters + 1):
-            membership, probs = self._group_stats(cells, assignment, n_groups)
-            distances = waste_to_clusters(
-                cells.membership, cells.probs, membership, probs
-            )
-            new_assignment = np.argmin(distances, axis=1)
-            new_assignment = self._fix_empty_groups(
-                new_assignment, distances, n_groups
-            )
-            if np.array_equal(new_assignment, assignment):
-                self.n_iterations_ = iteration
-                break
-            assignment = new_assignment
-        else:
-            self.n_iterations_ = self.max_iters
+        with self._fit_span(cells, n_groups) as span:
+            assignment = self._initial_assignment(cells, n_groups)
+            # a warm start may occupy fewer groups; iterate with exactly
+            # the groups present so empty groups never enter the
+            # distance kernel
+            n_groups = int(assignment.max()) + 1
+            for iteration in range(1, self.max_iters + 1):
+                membership, probs = self._group_stats(
+                    cells, assignment, n_groups
+                )
+                distances = waste_to_clusters(
+                    cells.membership, cells.probs, membership, probs
+                )
+                new_assignment = np.argmin(distances, axis=1)
+                new_assignment = self._fix_empty_groups(
+                    new_assignment, distances, n_groups
+                )
+                if np.array_equal(new_assignment, assignment):
+                    self.n_iterations_ = iteration
+                    break
+                assignment = new_assignment
+            else:
+                self.n_iterations_ = self.max_iters
+            span.set("iterations", self.n_iterations_)
+            self._record_fit(iterations=self.n_iterations_)
         return Clustering(cells, assignment)
 
     @staticmethod
@@ -180,59 +187,72 @@ class KMeansClustering(_KMeansBase):
         m = len(cells)
         if n_groups >= m:
             self.n_iterations_ = 0
+            self._record_fit(iterations=0)
             return Clustering(cells, np.arange(m, dtype=np.int64))
 
-        assignment = self._initial_assignment(cells, n_groups)
-        n_groups = int(assignment.max()) + 1
+        with self._fit_span(cells, n_groups) as span:
+            assignment = self._initial_assignment(cells, n_groups)
+            n_groups = int(assignment.max()) + 1
 
-        # incremental group state: per-subscriber member counts (so that
-        # removing a cell can shrink the union), boolean membership,
-        # probability mass and cell counts
-        counts = np.zeros((n_groups, cells.n_subscribers), dtype=np.int32)
-        probs = np.zeros(n_groups, dtype=np.float64)
-        n_cells_in = np.zeros(n_groups, dtype=np.int64)
-        cell_membership_int = cells.membership.astype(np.int32)
-        # float32 rows are consumed by the inner-loop matmul below;
-        # convert the whole matrix once instead of once per cell visit
-        cell_membership_f32 = cells.membership.astype(np.float32)
-        for g in range(n_groups):
-            members = assignment == g
-            counts[g] = cell_membership_int[members].sum(axis=0)
-            probs[g] = cells.probs[members].sum()
-            n_cells_in[g] = int(members.sum())
-        membership = counts > 0
-        membership_f32 = membership.astype(np.float32)
-        group_sizes = membership.sum(axis=1).astype(np.float64)
+            # incremental group state: per-subscriber member counts (so
+            # that removing a cell can shrink the union), boolean
+            # membership, probability mass and cell counts
+            counts = np.zeros(
+                (n_groups, cells.n_subscribers), dtype=np.int32
+            )
+            probs = np.zeros(n_groups, dtype=np.float64)
+            n_cells_in = np.zeros(n_groups, dtype=np.int64)
+            cell_membership_int = cells.membership.astype(np.int32)
+            # float32 rows are consumed by the inner-loop matmul below;
+            # convert the whole matrix once instead of once per cell visit
+            cell_membership_f32 = cells.membership.astype(np.float32)
+            for g in range(n_groups):
+                members = assignment == g
+                counts[g] = cell_membership_int[members].sum(axis=0)
+                probs[g] = cells.probs[members].sum()
+                n_cells_in[g] = int(members.sum())
+            membership = counts > 0
+            membership_f32 = membership.astype(np.float32)
+            group_sizes = membership.sum(axis=1).astype(np.float64)
 
-        cell_sizes = cells.sizes.astype(np.float64)
-        for iteration in range(1, self.max_iters + 1):
-            moved = 0
-            for cell in range(m):
-                current = int(assignment[cell])
-                if n_cells_in[current] <= 1:
-                    continue  # last hyper-cell of its group cannot move
-                s_cell = membership_f32 @ cell_membership_f32[cell]
-                distances = cells.probs[cell] * (group_sizes - s_cell)
-                distances += probs * (cell_sizes[cell] - s_cell)
-                target = int(np.argmin(distances))
-                if target == current:
-                    continue
-                moved += 1
-                assignment[cell] = target
-                row = cell_membership_int[cell]
-                counts[current] -= row
-                counts[target] += row
-                probs[current] -= cells.probs[cell]
-                probs[target] += cells.probs[cell]
-                n_cells_in[current] -= 1
-                n_cells_in[target] += 1
-                for g in (current, target):
-                    membership[g] = counts[g] > 0
-                    membership_f32[g] = membership[g]
-                    group_sizes[g] = float(membership[g].sum())
-            if moved == 0:
-                self.n_iterations_ = iteration
-                break
-        else:
-            self.n_iterations_ = self.max_iters
+            cell_sizes = cells.sizes.astype(np.float64)
+            # the inner loop evaluates one cell against every group; the
+            # count is accumulated locally and recorded once per fit to
+            # keep registry traffic off the hot path
+            distance_evals = 0
+            for iteration in range(1, self.max_iters + 1):
+                moved = 0
+                for cell in range(m):
+                    current = int(assignment[cell])
+                    if n_cells_in[current] <= 1:
+                        continue  # last hyper-cell of group cannot move
+                    s_cell = membership_f32 @ cell_membership_f32[cell]
+                    distances = cells.probs[cell] * (group_sizes - s_cell)
+                    distances += probs * (cell_sizes[cell] - s_cell)
+                    distance_evals += n_groups
+                    target = int(np.argmin(distances))
+                    if target == current:
+                        continue
+                    moved += 1
+                    assignment[cell] = target
+                    row = cell_membership_int[cell]
+                    counts[current] -= row
+                    counts[target] += row
+                    probs[current] -= cells.probs[cell]
+                    probs[target] += cells.probs[cell]
+                    n_cells_in[current] -= 1
+                    n_cells_in[target] += 1
+                    for g in (current, target):
+                        membership[g] = counts[g] > 0
+                        membership_f32[g] = membership[g]
+                        group_sizes[g] = float(membership[g].sum())
+                if moved == 0:
+                    self.n_iterations_ = iteration
+                    break
+            else:
+                self.n_iterations_ = self.max_iters
+            span.set("iterations", self.n_iterations_)
+            self._record_fit(
+                iterations=self.n_iterations_, distance_evals=distance_evals
+            )
         return Clustering(cells, assignment)

@@ -36,21 +36,29 @@ class MSTClustering(GridClusteringAlgorithm):
         self._validate(cells, n_groups)
         m = len(cells)
         if n_groups >= m:
+            self._record_fit(merges=0)
             return Clustering(cells, np.arange(m, dtype=np.int64))
 
-        distances = pairwise_waste_matrix(
-            cells.membership, cells.probs
-        ).astype(np.float32)
-        rows, cols = np.triu_indices(m, k=1)
-        order = np.argsort(distances[rows, cols], kind="stable")
+        with self._fit_span(cells, n_groups) as span:
+            distances = pairwise_waste_matrix(
+                cells.membership, cells.probs
+            ).astype(np.float32)
+            rows, cols = np.triu_indices(m, k=1)
+            order = np.argsort(distances[rows, cols], kind="stable")
 
-        components = UnionFind(m)
-        for edge in order:
-            if components.components <= n_groups:
-                break
-            components.union(int(rows[edge]), int(cols[edge]))
+            components = UnionFind(m)
+            edges_scanned = 0
+            for edge in order:
+                if components.components <= n_groups:
+                    break
+                edges_scanned += 1
+                components.union(int(rows[edge]), int(cols[edge]))
 
-        roots = np.fromiter(
-            (components.find(i) for i in range(m)), dtype=np.int64, count=m
-        )
+            roots = np.fromiter(
+                (components.find(i) for i in range(m)),
+                dtype=np.int64,
+                count=m,
+            )
+            span.set("edges_scanned", edges_scanned)
+            self._record_fit(merges=m - components.components)
         return Clustering(cells, self._compact_assignment(roots))

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry import EventSpace, Rectangle
+from ..obs import get_registry, get_tracer
 from ..workload import SubscriptionSet
 
 __all__ = ["NoLossResult", "NoLossAlgorithm", "LatticeBlockMass"]
@@ -185,6 +186,32 @@ class NoLossAlgorithm:
             raise ValueError("need at least one group")
         if rng is None:
             rng = np.random.default_rng()
+        with get_tracer().span(
+            "clustering.fit",
+            algorithm="no-loss",
+            n_groups=n_groups,
+            n_keep=self.n_keep,
+            iterations=self.iterations,
+        ) as span:
+            result = self._fit(subscriptions, cell_pmf, n_groups, rng)
+            span.set("n_regions", len(result))
+        registry = get_registry()
+        registry.counter(
+            "clustering_fit_total", "clustering fits performed"
+        ).inc(algorithm="no-loss")
+        registry.counter(
+            "clustering_iterations_total",
+            "refinement iterations across fits",
+        ).inc(self.iterations, algorithm="no-loss")
+        return result
+
+    def _fit(
+        self,
+        subscriptions: SubscriptionSet,
+        cell_pmf: np.ndarray,
+        n_groups: int,
+        rng: np.random.Generator,
+    ) -> NoLossResult:
         space = subscriptions.space
         mass = LatticeBlockMass(space, cell_pmf)
         sub_los, sub_his = subscriptions.bounds()

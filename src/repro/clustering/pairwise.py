@@ -47,6 +47,11 @@ class _AgglomerativeState:
         ).astype(np.float32)
         np.fill_diagonal(self.distances, np.inf)
         self.n_active = m
+        # work counters, accumulated locally and folded into the
+        # registry once per fit (registry traffic stays off the merge
+        # hot path)
+        self.n_merges = 0
+        self.n_distance_evals = 0
 
     def merge(self, i: int, j: int) -> None:
         """Absorb group ``j`` into group ``i`` and refresh distances."""
@@ -59,11 +64,13 @@ class _AgglomerativeState:
         self.active[j] = False
         self.parent[j] = i
         self.n_active -= 1
+        self.n_merges += 1
         self.distances[j, :] = np.inf
         self.distances[:, j] = np.inf
         # recompute group-i distances to every other active group
         others = np.nonzero(self.active)[0]
         others = others[others != i]
+        self.n_distance_evals += len(others)
         if len(others) == 0:
             self.distances[i, :] = np.inf
             return
@@ -117,7 +124,15 @@ class PairwiseGroupingClustering(GridClusteringAlgorithm):
         self._validate(cells, n_groups)
         m = len(cells)
         if n_groups >= m:
+            self._record_fit(merges=0)
             return Clustering(cells, np.arange(m, dtype=np.int64))
+        with self._fit_span(cells, n_groups) as span:
+            clustering = self._fit(cells, n_groups)
+            span.set("merges", m - n_groups)
+        return clustering
+
+    def _fit(self, cells: CellSet, n_groups: int) -> Clustering:
+        m = len(cells)
         state = _AgglomerativeState(cells)
         distances = state.distances
         rows = np.arange(m)
@@ -150,6 +165,9 @@ class PairwiseGroupingClustering(GridClusteringAlgorithm):
             if better.any():
                 nn_idx[better] = i
                 nn_dist[better] = col[better]
+        self._record_fit(
+            merges=state.n_merges, distance_evals=state.n_distance_evals
+        )
         return Clustering(cells, state.assignment())
 
 
@@ -189,11 +207,18 @@ class ApproximatePairwiseClustering(GridClusteringAlgorithm):
         if rng is None:
             rng = np.random.default_rng()
         if n_groups >= len(cells):
+            self._record_fit(merges=0)
             return Clustering(cells, np.arange(len(cells), dtype=np.int64))
-        state = _AgglomerativeState(cells)
-        while state.n_active > n_groups:
-            i, j = self._select_pair(state, rng)
-            state.merge(i, j)
+        with self._fit_span(cells, n_groups) as span:
+            state = _AgglomerativeState(cells)
+            while state.n_active > n_groups:
+                i, j = self._select_pair(state, rng)
+                state.merge(i, j)
+            span.set("merges", state.n_merges)
+            self._record_fit(
+                merges=state.n_merges,
+                distance_evals=state.n_distance_evals,
+            )
         return Clustering(cells, state.assignment())
 
     def _select_pair(

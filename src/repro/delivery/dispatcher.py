@@ -24,6 +24,7 @@ coverage.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -40,11 +41,15 @@ from ..network import (
     sparse_multicast_cost,
     unicast_cost,
 )
+from ..obs import MetricsRegistry, get_registry, get_tracer
 from ..workload import SubscriptionSet
 
 __all__ = ["Dispatcher", "SCHEMES"]
 
 SCHEMES = ("dense", "alm", "sparse")
+
+#: distinguishes concurrently live dispatchers in the shared registry
+_instance_ids = itertools.count()
 
 
 class Dispatcher:
@@ -56,10 +61,13 @@ class Dispatcher:
         subscriptions: SubscriptionSet,
         scheme: str = "dense",
         core: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """``core`` designates the sparse-mode rendezvous point; when
         omitted the network's 1-median is used (computed lazily, only
-        when the sparse scheme actually prices a plan)."""
+        when the sparse scheme actually prices a plan).  ``registry``
+        overrides the process-wide metrics registry the cache statistics
+        are recorded into."""
         if scheme not in SCHEMES:
             raise ValueError(f"scheme must be one of {SCHEMES}")
         self.routing = routing
@@ -71,8 +79,27 @@ class Dispatcher:
         # changes — price it once and replay it for every later event
         self._group_cost_cache: Dict[Tuple[int, bytes], float] = {}
         self._group_nodes_cache: Dict[bytes, np.ndarray] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
+        # registry-backed hit/miss accounting, one label set per live
+        # dispatcher so concurrent instances don't mix their statistics;
+        # counters are bound once here and incremented per lookup
+        registry = registry if registry is not None else get_registry()
+        lookups = registry.counter(
+            "dispatcher_cache_lookups_total",
+            "per-lookup hit/miss counts of the dispatcher memos",
+        )
+        instance = f"d{next(_instance_ids)}"
+        self._cost_hits = lookups.labels(
+            cache="group_cost", result="hit", scheme=scheme, instance=instance
+        )
+        self._cost_misses = lookups.labels(
+            cache="group_cost", result="miss", scheme=scheme, instance=instance
+        )
+        self._nodes_hits = lookups.labels(
+            cache="group_nodes", result="hit", scheme=scheme, instance=instance
+        )
+        self._nodes_misses = lookups.labels(
+            cache="group_nodes", result="miss", scheme=scheme, instance=instance
+        )
 
     @property
     def core(self) -> int:
@@ -116,13 +143,16 @@ class Dispatcher:
         """
         if len(publishers) != len(plans):
             raise ValueError("publishers / plans length mismatch")
-        return np.array(
-            [
-                self.plan_cost(int(publisher), plan)
-                for publisher, plan in zip(publishers, plans)
-            ],
-            dtype=np.float64,
-        )
+        with get_tracer().span(
+            "delivery.plan_costs", scheme=self.scheme, n_plans=len(plans)
+        ):
+            return np.array(
+                [
+                    self.plan_cost(int(publisher), plan)
+                    for publisher, plan in zip(publishers, plans)
+                ],
+                dtype=np.float64,
+            )
 
     # ------------------------------------------------------------------
     def group_nodes(self, members: Sequence[int]) -> np.ndarray:
@@ -131,36 +161,64 @@ class Dispatcher:
         key = arr.tobytes()
         nodes = self._group_nodes_cache.get(key)
         if nodes is None:
+            self._nodes_misses.inc()
             nodes = self.subscriptions.nodes_of_subscribers(arr)
             self._group_nodes_cache[key] = nodes
+        else:
+            self._nodes_hits.inc()
         return nodes
 
     def group_cost(self, publisher: int, nodes: np.ndarray) -> float:
-        """Memoised multicast cost of one ``(publisher, node-set)`` pair."""
+        """Memoised multicast cost of one ``(publisher, node-set)`` pair.
+
+        Hit/miss statistics are recorded per lookup — a ``plan_costs``
+        batch over N plans with G groups each contributes N·G lookup
+        events, not one per call.
+        """
         key = (publisher, nodes.tobytes())
         cost = self._group_cost_cache.get(key)
         if cost is None:
-            self.cache_misses += 1
+            self._cost_misses.inc()
             cost = self._group_cost(publisher, nodes)
             self._group_cost_cache[key] = cost
         else:
-            self.cache_hits += 1
+            self._cost_hits.inc()
         return cost
 
+    @property
+    def cache_hits(self) -> int:
+        """This dispatcher's multicast-cost-memo hits (registry-backed)."""
+        return int(self._cost_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        """This dispatcher's multicast-cost-memo misses (registry-backed)."""
+        return int(self._cost_misses.value)
+
     def cache_info(self) -> Dict[str, float]:
-        """Hit/miss counters of the multicast-cost memo (for benchmarks)."""
-        lookups = self.cache_hits + self.cache_misses
+        """Hit/miss counters of the multicast-cost memo (for benchmarks).
+
+        Thin shim over the registry-backed counters; the historical keys
+        are preserved, with the node-set memo's counts alongside.
+        """
+        hits, misses = self.cache_hits, self.cache_misses
+        lookups = hits + misses
         return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
+            "hits": hits,
+            "misses": misses,
             "entries": len(self._group_cost_cache),
-            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "nodes_hits": int(self._nodes_hits.value),
+            "nodes_misses": int(self._nodes_misses.value),
+            "nodes_entries": len(self._group_nodes_cache),
         }
 
     def reset_cache_stats(self) -> None:
-        """Zero the hit/miss counters (the memo itself is kept)."""
-        self.cache_hits = 0
-        self.cache_misses = 0
+        """Zero the hit/miss counters (the memos themselves are kept)."""
+        self._cost_hits.reset()
+        self._cost_misses.reset()
+        self._nodes_hits.reset()
+        self._nodes_misses.reset()
 
     def _group_cost(self, publisher: int, nodes) -> float:
         """Cost of one multicast transmission under the active scheme."""

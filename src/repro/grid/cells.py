@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry import EventSpace
+from ..obs import get_tracer
 from ..workload import SubscriptionSet
 
 __all__ = ["CellSet", "build_membership_matrix", "build_cell_set"]
@@ -153,6 +154,22 @@ def build_cell_set(
             f"cell_pmf must have one entry per grid cell "
             f"({space.n_cells}), got {cell_pmf.shape}"
         )
+    with get_tracer().span(
+        "grid.build_cell_set",
+        n_grid_cells=space.n_cells,
+        max_cells=max_cells,
+    ) as span:
+        cells = _build_cell_set(space, subscriptions, cell_pmf, max_cells)
+        span.set("n_hypercells", len(cells))
+    return cells
+
+
+def _build_cell_set(
+    space: EventSpace,
+    subscriptions: SubscriptionSet,
+    cell_pmf: np.ndarray,
+    max_cells: Optional[int],
+) -> CellSet:
     membership = build_membership_matrix(space, subscriptions)
 
     nonempty = np.nonzero(membership.any(axis=1))[0]

@@ -22,8 +22,9 @@ import numpy as np
 
 from ..clustering import Clustering
 from ..grid import build_membership_matrix
+from ..obs import get_tracer
 from ..workload import SubscriptionSet
-from .matchers import threshold_plan
+from .matchers import _record_match_metrics, threshold_plan
 from .plan import DeliveryPlan
 
 __all__ = ["DirectoryMatcher"]
@@ -74,7 +75,7 @@ class DirectoryMatcher:
             )
         interested = np.nonzero(self._directory[cell])[0]
         group = self.clustering.group_of_grid_cell(cell)
-        return threshold_plan(
+        plan = threshold_plan(
             interested,
             group,
             self._group_members,
@@ -82,6 +83,13 @@ class DirectoryMatcher:
             self.threshold,
             group_masks=self.clustering.group_membership,
         )
+        _record_match_metrics(
+            "directory",
+            1,
+            int(plan.uses_multicast),
+            n_fallbacks=int(group >= 0 and not plan.uses_multicast),
+        )
+        return plan
 
     def match_batch(
         self,
@@ -95,33 +103,49 @@ class DirectoryMatcher:
         rectangle-test fallback); on-grid events always read the
         directory, exactly like :meth:`match`.
         """
-        cells = self._space.locate_batch(points)
-        groups = self.clustering.groups_of_grid_cells(cells)
-        masks = self.clustering.group_membership
-        plans: List[DeliveryPlan] = []
-        for e, (cell, group) in enumerate(zip(cells, groups)):
-            if cell < 0:
-                ids = (
-                    interested[e]
-                    if interested is not None
-                    else self.subscriptions.interested_subscribers(points[e])
-                )
+        with get_tracer().span(
+            "matching.match_batch",
+            matcher="directory",
+            n_events=len(points),
+        ):
+            cells = self._space.locate_batch(points)
+            groups = self.clustering.groups_of_grid_cells(cells)
+            masks = self.clustering.group_membership
+            plans: List[DeliveryPlan] = []
+            for e, (cell, group) in enumerate(zip(cells, groups)):
+                if cell < 0:
+                    ids = (
+                        interested[e]
+                        if interested is not None
+                        else self.subscriptions.interested_subscribers(
+                            points[e]
+                        )
+                    )
+                    plans.append(
+                        DeliveryPlan(interested=ids, unicast_subscribers=ids)
+                    )
+                    continue
+                ids = np.nonzero(self._directory[cell])[0]
                 plans.append(
-                    DeliveryPlan(interested=ids, unicast_subscribers=ids)
+                    threshold_plan(
+                        ids,
+                        int(group),
+                        self._group_members,
+                        self._group_sizes,
+                        self.threshold,
+                        group_masks=masks,
+                    )
                 )
-                continue
-            ids = np.nonzero(self._directory[cell])[0]
-            plans.append(
-                threshold_plan(
-                    ids,
-                    int(group),
-                    self._group_members,
-                    self._group_sizes,
-                    self.threshold,
-                    group_masks=masks,
-                )
+            n_multicast = sum(1 for p in plans if p.uses_multicast)
+            n_fallbacks = sum(
+                1
+                for plan, group in zip(plans, groups)
+                if group >= 0 and not plan.uses_multicast
             )
-        return plans
+            _record_match_metrics(
+                "directory", len(plans), n_multicast, n_fallbacks=n_fallbacks
+            )
+            return plans
 
     # ------------------------------------------------------------------
     @property

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..clustering import Clustering, NoLossResult
+from ..obs import get_registry, get_tracer
 from ..workload import SubscriptionSet
 from .plan import DeliveryPlan
 from .rtree import RTree
@@ -32,6 +33,35 @@ __all__ = [
     "NoLossMatcher",
     "threshold_plan",
 ]
+
+
+def _record_match_metrics(
+    matcher: str,
+    n_events: int,
+    n_multicast: int,
+    n_fallbacks: int = 0,
+) -> None:
+    """Fold one match call (or batch) into the registry.
+
+    Counts are aggregated per call site before touching the registry so
+    that ``match_batch`` costs a fixed number of counter increments
+    regardless of batch size — the per-event hot path stays metric-free.
+    """
+    registry = get_registry()
+    registry.counter(
+        "matching_events_total", "events run through a matcher"
+    ).inc(n_events, matcher=matcher)
+    if n_multicast:
+        registry.counter(
+            "matching_multicast_plans_total",
+            "plans that used at least one multicast group",
+        ).inc(n_multicast, matcher=matcher)
+    if n_fallbacks:
+        registry.counter(
+            "matching_threshold_fallbacks_total",
+            "grid-cell groups rejected by the threshold rule "
+            "(event fell back to pure unicast)",
+        ).inc(n_fallbacks, matcher=matcher)
 
 
 def threshold_plan(
@@ -89,6 +119,7 @@ class BruteForceMatcher:
 
     def match(self, point: Sequence[float]) -> DeliveryPlan:
         interested = self.subscriptions.interested_subscribers(point)
+        _record_match_metrics("brute-force", 1, 0)
         return DeliveryPlan(
             interested=interested, unicast_subscribers=interested
         )
@@ -105,14 +136,20 @@ class BruteForceMatcher:
         :meth:`~repro.workload.SubscriptionSet.batch_interested_subscribers`
         output) to skip recomputing them.
         """
-        if interested is None:
-            interested = self.subscriptions.batch_interested_subscribers(
-                points
-            )
-        return [
-            DeliveryPlan(interested=ids, unicast_subscribers=ids)
-            for ids in interested
-        ]
+        with get_tracer().span(
+            "matching.match_batch",
+            matcher="brute-force",
+            n_events=len(points),
+        ):
+            if interested is None:
+                interested = self.subscriptions.batch_interested_subscribers(
+                    points
+                )
+            _record_match_metrics("brute-force", len(points), 0)
+            return [
+                DeliveryPlan(interested=ids, unicast_subscribers=ids)
+                for ids in interested
+            ]
 
 
 class GridMatcher:
@@ -145,7 +182,7 @@ class GridMatcher:
         interested = self.subscriptions.interested_subscribers(point)
         cell = self._space.locate(point)
         group = self.clustering.group_of_grid_cell(cell) if cell >= 0 else -1
-        return threshold_plan(
+        plan = threshold_plan(
             interested,
             group,
             self._group_members,
@@ -153,6 +190,13 @@ class GridMatcher:
             self.threshold,
             group_masks=self.clustering.group_membership,
         )
+        _record_match_metrics(
+            "grid",
+            1,
+            int(plan.uses_multicast),
+            n_fallbacks=int(group >= 0 and not plan.uses_multicast),
+        )
+        return plan
 
     def match_batch(
         self,
@@ -161,24 +205,41 @@ class GridMatcher:
     ) -> List[DeliveryPlan]:
         """Plans for many events in one pass (vectorised cell location and
         group lookup; optional precomputed per-event interest sets)."""
-        if interested is None:
-            interested = self.subscriptions.batch_interested_subscribers(
-                points
+        with get_tracer().span(
+            "matching.match_batch", matcher="grid", n_events=len(points)
+        ) as span:
+            if interested is None:
+                interested = self.subscriptions.batch_interested_subscribers(
+                    points
+                )
+            cells = self._space.locate_batch(points)
+            groups = self.clustering.groups_of_grid_cells(cells)
+            masks = self.clustering.group_membership
+            plans = [
+                threshold_plan(
+                    ids,
+                    int(group),
+                    self._group_members,
+                    self._group_sizes,
+                    self.threshold,
+                    group_masks=masks,
+                )
+                for ids, group in zip(interested, groups)
+            ]
+            n_multicast = sum(1 for p in plans if p.uses_multicast)
+            # a fallback is a grouped cell whose multicast the threshold
+            # rule (Figure 5) rejected — the event went out pure unicast
+            n_fallbacks = sum(
+                1
+                for plan, group in zip(plans, groups)
+                if group >= 0 and not plan.uses_multicast
             )
-        cells = self._space.locate_batch(points)
-        groups = self.clustering.groups_of_grid_cells(cells)
-        masks = self.clustering.group_membership
-        return [
-            threshold_plan(
-                ids,
-                int(group),
-                self._group_members,
-                self._group_sizes,
-                self.threshold,
-                group_masks=masks,
+            span.set("n_multicast", n_multicast)
+            span.set("n_fallbacks", n_fallbacks)
+            _record_match_metrics(
+                "grid", len(plans), n_multicast, n_fallbacks=n_fallbacks
             )
-            for ids, group in zip(interested, groups)
-        ]
+            return plans
 
 
 class NoLossMatcher:
@@ -198,7 +259,9 @@ class NoLossMatcher:
 
     def match(self, point: Sequence[float]) -> DeliveryPlan:
         interested = self.subscriptions.interested_subscribers(point)
-        return self._assemble(interested, self._locate(point))
+        plan = self._assemble(interested, self._locate(point))
+        _record_match_metrics("no-loss", 1, int(plan.uses_multicast))
+        return plan
 
     def match_batch(
         self,
@@ -207,14 +270,21 @@ class NoLossMatcher:
     ) -> List[DeliveryPlan]:
         """Plans for many events at once (shared interest pass; region
         stabbing stays per event — the R-tree makes it cheap)."""
-        if interested is None:
-            interested = self.subscriptions.batch_interested_subscribers(
-                points
-            )
-        return [
-            self._assemble(ids, self._locate(point))
-            for ids, point in zip(interested, points)
-        ]
+        with get_tracer().span(
+            "matching.match_batch", matcher="no-loss", n_events=len(points)
+        ) as span:
+            if interested is None:
+                interested = self.subscriptions.batch_interested_subscribers(
+                    points
+                )
+            plans = [
+                self._assemble(ids, self._locate(point))
+                for ids, point in zip(interested, points)
+            ]
+            n_multicast = sum(1 for p in plans if p.uses_multicast)
+            span.set("n_multicast", n_multicast)
+            _record_match_metrics("no-loss", len(plans), n_multicast)
+            return plans
 
     def _assemble(self, interested: np.ndarray, region: int) -> DeliveryPlan:
         if region < 0:

@@ -1,0 +1,85 @@
+"""Unified observability layer: metrics, span tracing, run manifests.
+
+The pipeline stages (clustering fit, matching, dispatch pricing, broker
+delivery and rebuilds, experiment sweeps) all report into one
+process-local :class:`MetricsRegistry` and one :class:`Tracer`; a
+:class:`RunManifest` pins down what produced the numbers, and the JSONL
+exporters turn all three into one machine-readable trace per run.
+
+Module-level defaults keep instrumentation one import away::
+
+    from repro.obs import get_registry, get_tracer
+
+    with get_tracer().span("my.phase") as span:
+        ...
+    get_registry().counter("my_events_total").inc()
+
+The default tracer starts *disabled* (spans cost one attribute check);
+``--profile`` / ``--trace`` on the sim CLI, or :func:`enable_tracing`,
+switch it on.  Metrics are always collected — they are cheap and several
+components (the dispatcher's cache statistics, the broker's delivery
+stats) are backed by them.
+"""
+
+from .export import export_records, read_jsonl, write_jsonl
+from .manifest import RunManifest
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Span, Tracer, aggregate_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "RunManifest",
+    "export_records",
+    "write_jsonl",
+    "read_jsonl",
+    "REGISTRY",
+    "TRACER",
+    "get_registry",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+]
+
+#: the process-wide default registry every pipeline stage records into
+REGISTRY = MetricsRegistry()
+
+#: the process-wide default tracer (disabled until a profiling entry
+#: point — CLI flag, benchmark, example — enables it)
+TRACER = Tracer(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return TRACER
+
+
+def enable_tracing(clear: bool = True) -> Tracer:
+    """Switch the default tracer on (optionally dropping old spans)."""
+    if clear:
+        TRACER.clear()
+    TRACER.enable()
+    return TRACER
+
+
+def disable_tracing() -> Tracer:
+    """Switch the default tracer off (recorded spans are kept)."""
+    TRACER.disable()
+    return TRACER

@@ -1,0 +1,78 @@
+"""JSONL export of traces, metrics and manifests.
+
+One JSON object per line, each tagged with a ``"kind"`` field:
+
+* ``{"kind": "manifest", ...}`` — at most one, always first;
+* ``{"kind": "span", ...}`` — one per finished span (see
+  :meth:`repro.obs.Span.as_dict`);
+* ``{"kind": "metric", ...}`` — one per labeled instrument child (see
+  :meth:`repro.obs.MetricsRegistry.snapshot`).
+
+The format is append-friendly and diff-able: traces of two runs of the
+same sweep line up record-for-record, which is what makes cross-PR
+comparison of the ``--trace`` output practical.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .manifest import RunManifest
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["export_records", "write_jsonl", "read_jsonl"]
+
+
+def export_records(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    manifest: Optional[RunManifest] = None,
+) -> List[Dict]:
+    """Flatten the given sources into tagged JSONL-ready records."""
+    records: List[Dict] = []
+    if manifest is not None:
+        records.append({"kind": "manifest", **manifest.as_dict()})
+    if tracer is not None:
+        for span in tracer.spans():
+            records.append({"kind": "span", **span.as_dict()})
+    if registry is not None:
+        for sample in registry.snapshot():
+            records.append({"kind": "metric", **sample})
+    return records
+
+
+def write_jsonl(
+    path,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    manifest: Optional[RunManifest] = None,
+) -> int:
+    """Write the sources to ``path``; returns the number of records."""
+    records = export_records(
+        tracer=tracer, registry=registry, manifest=manifest
+    )
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=_jsonable))
+            handle.write("\n")
+    return len(records)
+
+
+def read_jsonl(path) -> List[Dict]:
+    """Parse a JSONL file back into its records (blank lines skipped)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other stragglers for json.dumps."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

@@ -1,0 +1,335 @@
+"""Process-local metrics: counters, gauges and histograms with labels.
+
+The registry is the write side of the observability layer: pipeline
+stages record *what happened* (events matched, cache hits, merges
+performed) as named instruments, and exporters or reports read one
+consistent snapshot at the end of a run.  Everything is in-process and
+dependency-free — the shape follows the Prometheus client model
+(instrument -> labeled children -> samples) without any of its wire
+formats.
+
+Instruments are cheap enough for per-lookup hot paths: a bound child
+(:meth:`Counter.labels` resolved once, outside the loop) increments a
+single float under a lock, and a registry lookup is one dict access.
+All mutation is thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bucket upper bounds (seconds-oriented: spans from
+#: microseconds to minutes), chosen so timing observations land usefully
+#: without configuration
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical hashable form of a label set (sorted, stringified)."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Common machinery: a named family of labeled children."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+        self._children: Dict[LabelKey, object] = {}
+
+    def labels(self, **labels: object):
+        """The child tracking one label combination (created on demand)."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero every child (the children themselves are kept)."""
+        with self._lock:
+            for child in self._children.values():
+                child.reset()
+
+    def samples(self) -> List[Dict]:
+        """One flat record per labeled child."""
+        with self._lock:
+            items = list(self._children.items())
+        records = []
+        for key, child in items:
+            record = {
+                "name": self.name,
+                "type": self.kind,
+                "labels": dict(key),
+            }
+            record.update(child.sample())
+            records.append(record)
+        return records
+
+
+class _CounterChild:
+    """A monotonically increasing count for one label combination."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def sample(self) -> Dict:
+        return {"value": self._value}
+
+
+class Counter(_Instrument):
+    """A monotonically increasing counter with optional labels."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    # convenience for the common unlabeled case
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        self.labels(**labels).inc(value)
+
+    @property
+    def value(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(child.value for child in self._children.values())
+
+
+class _GaugeChild:
+    """A point-in-time value for one label combination."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, value: float) -> None:
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def sample(self) -> Dict:
+        return {"value": self._value}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (population sizes, cache sizes)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labels: object) -> None:
+        self.labels(**labels).set(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            children = list(self._children.values())
+        if not children:
+            return 0.0
+        return children[-1].value if len(children) == 1 else sum(
+            c.value for c in children
+        )
+
+
+class _HistogramChild:
+    """Count/sum/min/max plus cumulative bucket counts."""
+
+    __slots__ = ("_lock", "_bounds", "_buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = tuple(bounds)
+        self._buckets = [0] * (len(self._bounds) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for idx, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._buckets[idx] += 1
+                    return
+            self._buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets = [0] * (len(self._bounds) + 1)
+            self.count = 0
+            self.sum = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
+
+    def sample(self) -> Dict:
+        with self._lock:
+            empty = self.count == 0
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": None if empty else self.min,
+                "max": None if empty else self.max,
+                "mean": 0.0 if empty else self.sum / self.count,
+                "buckets": {
+                    **{
+                        f"le_{bound:g}": count
+                        for bound, count in zip(self._bounds, self._buckets)
+                    },
+                    "le_inf": self._buckets[-1],
+                },
+            }
+
+
+class Histogram(_Instrument):
+    """A distribution of observations (timings, batch sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, description)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.labels(**labels).observe(value)
+
+
+class MetricsRegistry:
+    """A process-local collection of named instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name returns the existing instrument (and raises if it
+    was registered as a different type), so any module can reference a
+    metric without coordinating creation order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, description: str, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name, description, **kwargs)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, description, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        """The instrument registered under ``name``, if any."""
+        return self._instruments.get(name)
+
+    def instruments(self) -> List[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def snapshot(self) -> List[Dict]:
+        """Every sample of every instrument, one flat record each."""
+        records: List[Dict] = []
+        for instrument in self.instruments():
+            records.extend(instrument.samples())
+        return records
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        for instrument in self.instruments():
+            instrument.reset()

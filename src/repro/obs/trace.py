@@ -1,0 +1,244 @@
+"""Hierarchical span tracing with near-zero disabled overhead.
+
+A :class:`Tracer` hands out context-managed spans::
+
+    with tracer.span("clustering.fit", algorithm="forgy") as span:
+        ...
+        span.set("iterations", 12)
+
+Spans nest per thread (a thread-local stack provides the parent), time
+themselves with :func:`time.perf_counter_ns`, survive exceptions (the
+span is closed and flagged, the exception propagates) and accumulate in
+a thread-safe buffer for export or aggregation.  When the tracer is
+disabled — the default — ``span()`` returns one shared no-op object, so
+instrumented code pays a single attribute check per call site.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "aggregate_spans"]
+
+
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "thread",
+        "start_ns",
+        "duration_ns",
+        "attrs",
+        "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        thread: int,
+        start_ns: int,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.thread = thread
+        self.start_ns = start_ns
+        self.duration_ns: Optional[int] = None
+        self.attrs = attrs
+        self.error: Optional[str] = None
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an attribute to the span."""
+        self.attrs[key] = value
+
+    @property
+    def duration_s(self) -> float:
+        return (self.duration_ns or 0) / 1e9
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "thread": self.thread,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ms = (self.duration_ns or 0) / 1e6
+        return f"Span({self.name!r}, {ms:.3f}ms, depth={self.depth})"
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens a :class:`Span` on the tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Produces nesting spans; collects them while enabled."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        """Drop every recorded span (id sequence keeps counting)."""
+        with self._lock:
+            self._spans = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object):
+        """A context manager timing one operation (no-op when disabled)."""
+        if not self._enabled:
+            return _NOOP
+        return _ActiveSpan(self, name, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, name: str, attrs: Dict) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            depth=len(stack),
+            thread=threading.get_ident(),
+            start_ns=time.perf_counter_ns(),
+            attrs=attrs,
+        )
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.duration_ns = time.perf_counter_ns() - span.start_ns
+        stack = self._stack()
+        # exception-tolerant pop: the span being closed is normally the
+        # top of the stack, but unwind past any abandoned children
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread (None outside spans)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+
+def aggregate_spans(spans: Iterable[Span]) -> List[Dict]:
+    """Fold spans into one row per span name.
+
+    Each row carries call count, total/mean/max seconds and *self*
+    seconds (total minus the time covered by direct children — the
+    phase-breakdown quantity: where the milliseconds actually go).
+    Rows come back sorted by total time, descending.
+    """
+    spans = list(spans)
+    child_ns: Dict[int, int] = {}
+    for span in spans:
+        if span.parent_id is not None and span.duration_ns:
+            child_ns[span.parent_id] = (
+                child_ns.get(span.parent_id, 0) + span.duration_ns
+            )
+    rows: Dict[str, Dict] = {}
+    for span in spans:
+        row = rows.setdefault(
+            span.name,
+            {
+                "name": span.name,
+                "calls": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+                "max_s": 0.0,
+            },
+        )
+        duration = span.duration_s
+        row["calls"] += 1
+        row["total_s"] += duration
+        row["self_s"] += max(
+            0.0, duration - child_ns.get(span.span_id, 0) / 1e9
+        )
+        row["max_s"] = max(row["max_s"], duration)
+    result = sorted(rows.values(), key=lambda r: -r["total_s"])
+    for row in result:
+        row["mean_s"] = row["total_s"] / row["calls"]
+    return result

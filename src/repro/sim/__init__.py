@@ -17,7 +17,13 @@ from .figures import (
     format_results,
 )
 from .metrics import CostSummary, improvement_percentage
-from .report import ascii_chart, chart_improvement, results_to_rows, rows_to_csv
+from .report import (
+    ascii_chart,
+    chart_improvement,
+    phase_table,
+    results_to_rows,
+    rows_to_csv,
+)
 from .stats import SummaryStatistics, replicate, summarize
 from .scenario import (
     Scenario,
@@ -49,6 +55,7 @@ __all__ = [
     "improvement_percentage",
     "ascii_chart",
     "chart_improvement",
+    "phase_table",
     "results_to_rows",
     "rows_to_csv",
     "SummaryStatistics",

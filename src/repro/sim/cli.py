@@ -10,16 +10,36 @@ Usage::
 Every sub-command prints the same rows/series the corresponding paper
 artefact reports.  Paper-scale runs are the defaults for algorithm
 parameters; ``--events`` and the sweep grids control the runtime.
+
+Every sub-command also accepts the observability flags:
+
+``--profile``
+    enable span tracing for the run and print a per-phase timing table
+    (cell-set build, clustering fit, matching, dispatch pricing, ...)
+    after the normal output;
+``--trace PATH``
+    enable tracing and write a JSONL trace — run manifest, spans and
+    metric samples, one JSON object per line — to ``PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
+from ..obs import (
+    RunManifest,
+    aggregate_spans,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    write_jsonl,
+)
 from .figures import figure7, figure8, figure9, figure10, figure11, format_results
-from .report import chart_improvement, results_to_rows, rows_to_csv
+from .report import chart_improvement, phase_table, results_to_rows, rows_to_csv
 from .tables import TABLE1_ROWS, TABLE2_ROWS, format_table, run_table
 
 __all__ = ["main", "build_parser"]
@@ -39,14 +59,31 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.sim.cli",
         description="Regenerate the tables and figures of the paper.",
     )
+    # observability flags shared by every sub-command
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run and print a per-phase timing table",
+    )
+    obs.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="trace the run and write a JSONL trace (manifest + spans "
+        "+ metrics) to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for table in ("table1", "table2"):
-        p = sub.add_parser(table, help=f"run {table} (section 3 costs)")
+        p = sub.add_parser(
+            table, help=f"run {table} (section 3 costs)", parents=[obs]
+        )
         p.add_argument("--events", type=int, default=60)
         p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("fig7", help="improvement % vs number of groups")
+    p = sub.add_parser(
+        "fig7", help="improvement % vs number of groups", parents=[obs]
+    )
     p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
     p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
     p.add_argument(
@@ -62,20 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="render an ASCII chart"
     )
 
-    p = sub.add_parser("fig8", help="no-loss parameter sweeps")
+    p = sub.add_parser("fig8", help="no-loss parameter sweeps", parents=[obs])
     p.add_argument("--keeps", type=_int_list, default=[250, 500, 1000, 2000])
     p.add_argument("--iters", type=_int_list, default=[0, 1, 2, 4, 8])
     p.add_argument("--groups", type=int, default=60)
     p.add_argument("--events", type=int, default=150)
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("fig9", help="robustness across topology seeds")
+    p = sub.add_parser(
+        "fig9", help="robustness across topology seeds", parents=[obs]
+    )
     p.add_argument("--seeds", type=_int_list, default=[0, 1])
     p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
     p.add_argument("--events", type=int, default=150)
 
     for fig in ("fig10", "fig11"):
-        p = sub.add_parser(fig, help="quality/time vs cell budget")
+        p = sub.add_parser(
+            fig, help="quality/time vs cell budget", parents=[obs]
+        )
         p.add_argument(
             "--cells", type=_int_list, default=[250, 500, 1000, 2000]
         )
@@ -88,7 +129,62 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    profiling = bool(args.profile or args.trace)
+    if profiling:
+        enable_tracing(clear=True)
+        get_registry().reset()
+    start = time.perf_counter()
+    try:
+        with get_tracer().span(f"cli.{args.command}"):
+            _run_command(args)
+    finally:
+        wall_seconds = time.perf_counter() - start
+        if profiling:
+            disable_tracing()
+    if profiling:
+        _report_profile(args, argv, wall_seconds)
+    return 0
 
+
+def _report_profile(
+    args: argparse.Namespace,
+    argv: Optional[Sequence[str]],
+    wall_seconds: float,
+) -> None:
+    tracer = get_tracer()
+    if args.profile:
+        print()
+        print(
+            phase_table(
+                tracer.spans(),
+                title=f"Phase breakdown ({args.command}, "
+                f"{wall_seconds:.3f}s wall)",
+            )
+        )
+    if args.trace:
+        config = {
+            key: value
+            for key, value in vars(args).items()
+            if key not in ("profile", "trace") and value is not None
+        }
+        manifest = RunManifest.capture(argv=argv, **config)
+        for row in aggregate_spans(tracer.spans()):
+            manifest.add_phase(
+                row["name"],
+                row["total_s"],
+                calls=row["calls"],
+                self_seconds=row["self_s"],
+            )
+        n_records = write_jsonl(
+            args.trace,
+            tracer=tracer,
+            registry=get_registry(),
+            manifest=manifest,
+        )
+        print(f"({n_records} trace records written to {args.trace})")
+
+
+def _run_command(args: argparse.Namespace) -> None:
     if args.command == "table1":
         rows = run_table(
             TABLE1_ROWS, regionalism=0.4, n_events=args.events, seed=args.seed
@@ -153,7 +249,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{row['algorithm']:>14} {row['n_cells']:>6} "
                 f"{row['improvement_pct']:>9.1f} {row['fit_seconds']:>8.3f}"
             )
-    return 0
 
 
 if __name__ == "__main__":

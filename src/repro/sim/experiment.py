@@ -27,6 +27,7 @@ from ..clustering import (
 from ..delivery import SCHEMES, Dispatcher
 from ..grid import CellSet, build_cell_set
 from ..matching import BruteForceMatcher, GridMatcher, NoLossMatcher
+from ..obs import RunManifest, get_tracer
 from ..workload import PublicationEvent
 from .metrics import CostSummary, improvement_percentage
 from .scenario import Scenario
@@ -120,24 +121,39 @@ class ExperimentContext:
             )
         return self._cells[max_cells]
 
+    def manifest(self, argv: Optional[Sequence[str]] = None) -> RunManifest:
+        """A :class:`~repro.obs.RunManifest` describing this context."""
+        return RunManifest.capture(
+            scenario=self.scenario, argv=argv, n_events=self.n_events
+        )
+
     # ------------------------------------------------------------------
     def reference_costs(self, scheme: str) -> Tuple[float, float, float]:
         """Mean per-event (unicast, broadcast, ideal) costs (cached)."""
         if scheme not in self._references:
             dispatcher = self.dispatcher(scheme)
-            unicast = broadcast = ideal = 0.0
-            for event, interested, nodes in zip(
-                self._events, self._interested, self._event_nodes
+            with get_tracer().span(
+                "sim.reference_costs", scheme=scheme, n_events=len(self._events)
             ):
-                unicast += dispatcher.unicast_reference(
-                    event.publisher, interested, nodes=nodes
+                unicast = broadcast = ideal = 0.0
+                for event, interested, nodes in zip(
+                    self._events, self._interested, self._event_nodes
+                ):
+                    unicast += dispatcher.unicast_reference(
+                        event.publisher, interested, nodes=nodes
+                    )
+                    broadcast += dispatcher.broadcast_reference(
+                        event.publisher
+                    )
+                    ideal += dispatcher.ideal_reference(
+                        event.publisher, interested, nodes=nodes
+                    )
+                n = len(self._events)
+                self._references[scheme] = (
+                    unicast / n,
+                    broadcast / n,
+                    ideal / n,
                 )
-                broadcast += dispatcher.broadcast_reference(event.publisher)
-                ideal += dispatcher.ideal_reference(
-                    event.publisher, interested, nodes=nodes
-                )
-            n = len(self._events)
-            self._references[scheme] = (unicast / n, broadcast / n, ideal / n)
         return self._references[scheme]
 
     def evaluate_matcher(self, matcher, scheme: str) -> CostSummary:
@@ -152,26 +168,32 @@ class ExperimentContext:
             getattr(matcher, "subscriptions", None)
             is self.scenario.subscriptions
         )
-        if hasattr(matcher, "match_batch"):
-            plans = matcher.match_batch(
-                self._points,
-                interested=self._interested if reuse_interest else None,
+        with get_tracer().span(
+            "sim.evaluate_matcher",
+            matcher=type(matcher).__name__,
+            scheme=scheme,
+            n_events=len(self._events),
+        ):
+            if hasattr(matcher, "match_batch"):
+                plans = matcher.match_batch(
+                    self._points,
+                    interested=self._interested if reuse_interest else None,
+                )
+            else:
+                plans = [matcher.match(point) for point in self._points]
+            costs = dispatcher.plan_costs(self._publishers, plans)
+            wasted = float(sum(plan.audit() for plan in plans))
+            total = float(costs.sum())
+            unicast, broadcast, ideal = self.reference_costs(scheme)
+            n = len(self._events)
+            return CostSummary(
+                n_events=n,
+                unicast=unicast,
+                broadcast=broadcast,
+                ideal=ideal,
+                achieved=total / n,
+                wasted_deliveries=wasted / n,
             )
-        else:
-            plans = [matcher.match(point) for point in self._points]
-        costs = dispatcher.plan_costs(self._publishers, plans)
-        wasted = float(sum(plan.audit() for plan in plans))
-        total = float(costs.sum())
-        unicast, broadcast, ideal = self.reference_costs(scheme)
-        n = len(self._events)
-        return CostSummary(
-            n_events=n,
-            unicast=unicast,
-            broadcast=broadcast,
-            ideal=ideal,
-            achieved=total / n,
-            wasted_deliveries=wasted / n,
-        )
 
     # ------------------------------------------------------------------
     def run_grid_algorithm(
@@ -185,27 +207,30 @@ class ExperimentContext:
         **algo_kwargs,
     ) -> List[AlgorithmResult]:
         """Fit one grid-based algorithm and evaluate it under the schemes."""
-        cells = self.cells(max_cells)
-        algorithm = make_grid_algorithm(name, **algo_kwargs)
-        if rng is None:
-            rng = np.random.default_rng(self.scenario.seed + 7)
-        start = time.perf_counter()
-        clustering = algorithm.fit(cells, n_groups, rng=rng)
-        fit_seconds = time.perf_counter() - start
-        matcher = GridMatcher(
-            clustering, self.scenario.subscriptions, threshold=threshold
-        )
-        return [
-            AlgorithmResult(
-                algorithm=name,
-                scheme=scheme,
-                n_groups=n_groups,
-                summary=self.evaluate_matcher(matcher, scheme),
-                fit_seconds=fit_seconds,
-                n_cells=len(cells),
+        with get_tracer().span(
+            "sim.run_algorithm", algorithm=name, n_groups=n_groups
+        ):
+            cells = self.cells(max_cells)
+            algorithm = make_grid_algorithm(name, **algo_kwargs)
+            if rng is None:
+                rng = np.random.default_rng(self.scenario.seed + 7)
+            start = time.perf_counter()
+            clustering = algorithm.fit(cells, n_groups, rng=rng)
+            fit_seconds = time.perf_counter() - start
+            matcher = GridMatcher(
+                clustering, self.scenario.subscriptions, threshold=threshold
             )
-            for scheme in schemes
-        ]
+            return [
+                AlgorithmResult(
+                    algorithm=name,
+                    scheme=scheme,
+                    n_groups=n_groups,
+                    summary=self.evaluate_matcher(matcher, scheme),
+                    fit_seconds=fit_seconds,
+                    n_cells=len(cells),
+                )
+                for scheme in schemes
+            ]
 
     def run_noloss(
         self,
@@ -216,29 +241,32 @@ class ExperimentContext:
         rng: Optional[np.random.Generator] = None,
     ) -> List[AlgorithmResult]:
         """Fit the No-Loss algorithm and evaluate it under the schemes."""
-        if rng is None:
-            rng = np.random.default_rng(self.scenario.seed + 11)
-        algorithm = NoLossAlgorithm(n_keep=n_keep, iterations=iterations)
-        start = time.perf_counter()
-        result = algorithm.fit(
-            self.scenario.subscriptions,
-            self.scenario.cell_pmf,
-            n_groups,
-            rng=rng,
-        )
-        fit_seconds = time.perf_counter() - start
-        matcher = NoLossMatcher(result, self.scenario.subscriptions)
-        return [
-            AlgorithmResult(
-                algorithm="no-loss",
-                scheme=scheme,
-                n_groups=result.n_groups,
-                summary=self.evaluate_matcher(matcher, scheme),
-                fit_seconds=fit_seconds,
-                n_cells=len(result),
+        with get_tracer().span(
+            "sim.run_algorithm", algorithm="no-loss", n_groups=n_groups
+        ):
+            if rng is None:
+                rng = np.random.default_rng(self.scenario.seed + 11)
+            algorithm = NoLossAlgorithm(n_keep=n_keep, iterations=iterations)
+            start = time.perf_counter()
+            result = algorithm.fit(
+                self.scenario.subscriptions,
+                self.scenario.cell_pmf,
+                n_groups,
+                rng=rng,
             )
-            for scheme in schemes
-        ]
+            fit_seconds = time.perf_counter() - start
+            matcher = NoLossMatcher(result, self.scenario.subscriptions)
+            return [
+                AlgorithmResult(
+                    algorithm="no-loss",
+                    scheme=scheme,
+                    n_groups=result.n_groups,
+                    summary=self.evaluate_matcher(matcher, scheme),
+                    fit_seconds=fit_seconds,
+                    n_cells=len(result),
+                )
+                for scheme in schemes
+            ]
 
     def run_unicast_baseline(self, scheme: str = "dense") -> AlgorithmResult:
         """The 0 %-improvement baseline (brute-force matcher)."""

@@ -11,9 +11,16 @@ import csv
 import io
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs import aggregate_spans
 from .experiment import AlgorithmResult
 
-__all__ = ["rows_to_csv", "results_to_rows", "ascii_chart", "chart_improvement"]
+__all__ = [
+    "rows_to_csv",
+    "results_to_rows",
+    "ascii_chart",
+    "chart_improvement",
+    "phase_table",
+]
 
 Point = Tuple[float, float]
 
@@ -125,3 +132,34 @@ def chart_improvement(
         x_label="multicast groups (K)",
         y_label="improvement %",
     )
+
+
+def phase_table(spans, title: str = "Phase breakdown") -> str:
+    """Render recorded spans as a per-phase timing table.
+
+    One row per span name, sorted by total time: call count, total
+    seconds, *self* seconds (total minus direct children — where the
+    time is actually spent), mean and max.  ``spans`` is whatever
+    :meth:`repro.obs.Tracer.spans` returned.
+    """
+    rows = aggregate_spans(spans)
+    if not rows:
+        return f"{title}: no spans recorded (tracing disabled?)"
+    name_width = max(len("phase"), max(len(r["name"]) for r in rows))
+    header = (
+        f"{'phase':<{name_width}} {'calls':>6} {'total_s':>9} "
+        f"{'self_s':>9} {'mean_s':>9} {'max_s':>9}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<{name_width}} {r['calls']:>6} "
+            f"{r['total_s']:>9.4f} {r['self_s']:>9.4f} "
+            f"{r['mean_s']:>9.4f} {r['max_s']:>9.4f}"
+        )
+    total = sum(r["self_s"] for r in rows)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'(sum of self)':<{name_width}} {'':>6} {total:>9.4f}"
+    )
+    return "\n".join(lines)

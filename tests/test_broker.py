@@ -240,6 +240,45 @@ class TestGroupChurn:
         assert churn == 3  # brand-new group: three joins
         churn = broker._membership_churn([frozenset({7})], [])
         assert churn == 1  # group torn down: one leave
+        churn = broker._membership_churn(
+            [frozenset({1, 2})], [frozenset({1, 3})]
+        )
+        assert churn == 2  # node 2 leaves, node 3 joins
+
+    def test_rebuild_accounting_mirrors_registry(self, broker_env, rng):
+        """Rebuild count, join/leave churn and rebuild wall clock land
+        both on DeliveryStats and on the process-wide metrics registry."""
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        rebuilds = registry.counter("broker_rebuilds_total")
+        changes = registry.counter("broker_membership_changes_total")
+        rebuilds_before = rebuilds.value
+        changes_before = changes.value
+
+        broker = make_broker(broker_env, rebalance_after=5)
+        stub_nodes = broker_env["topology"].stub_nodes()
+        for _ in range(20):
+            broker.subscribe(
+                int(rng.choice(stub_nodes)), random_rectangle(broker_env, rng)
+            )
+        broker.publish((0, 5, 5, 5), publisher=0)
+        for _ in range(10):
+            broker.subscribe(
+                int(rng.choice(stub_nodes)), random_rectangle(broker_env, rng)
+            )
+        broker.publish((0, 5, 5, 5), publisher=0)
+
+        stats = broker.stats
+        assert stats.n_rebuilds == 2
+        assert stats.total_rebuild_seconds > 0.0
+        assert stats.as_dict()["total_rebuild_seconds"] == pytest.approx(
+            stats.total_rebuild_seconds
+        )
+        assert rebuilds.value - rebuilds_before == stats.n_rebuilds
+        assert (
+            changes.value - changes_before == stats.group_membership_changes
+        )
 
 
 class TestAdaptiveBroker:

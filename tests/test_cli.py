@@ -22,6 +22,21 @@ class TestParser:
         assert args.modes == 4
         assert args.groups == [5, 10]
         assert args.events == 30
+        assert args.profile is False
+        assert args.trace is None
+
+    def test_observability_flags_on_every_command(self):
+        for argv in (
+            ["table1", "--profile"],
+            ["fig7", "--trace", "out.jsonl"],
+            ["fig8", "--profile", "--trace", "out.jsonl"],
+            ["fig10", "--profile"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert args.profile == ("--profile" in argv)
+            assert args.trace == (
+                "out.jsonl" if "--trace" in argv else None
+            )
 
     def test_int_list_validation(self):
         with pytest.raises(SystemExit):
@@ -66,3 +81,60 @@ class TestMain:
         )
         out = capsys.readouterr().out
         assert "sweep=" in out
+
+    def test_profile_and_trace(self, capsys, tmp_path):
+        """--profile prints a phase table; --trace writes parseable JSONL
+        whose span durations are consistent with the wall clock."""
+        from repro.obs import get_tracer, read_jsonl
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "fig7",
+                    "--events",
+                    "10",
+                    "--groups",
+                    "5",
+                    "--algorithms",
+                    "kmeans",
+                    "--no-noloss",
+                    "--profile",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        # the table covers the pipeline's main phases
+        for phase in (
+            "grid.build_cell_set",
+            "clustering.fit",
+            "matching.match_batch",
+            "delivery.plan_costs",
+        ):
+            assert phase in out
+        # tracing was switched back off afterwards
+        assert not get_tracer().enabled
+
+        records = read_jsonl(trace_path)
+        assert records[0]["kind"] == "manifest"
+        assert records[0]["config"]["command"] == "fig7"
+        spans = [r for r in records if r["kind"] == "span"]
+        assert spans, "trace must contain spans"
+        root = next(s for s in spans if s["parent_id"] is None)
+        assert root["name"] == "cli.fig7"
+        # children of any span never exceed their parent's duration
+        children_ns = {}
+        for s in spans:
+            if s["parent_id"] is not None:
+                children_ns[s["parent_id"]] = (
+                    children_ns.get(s["parent_id"], 0) + s["duration_ns"]
+                )
+        by_id = {s["span_id"]: s for s in spans}
+        for parent_id, total in children_ns.items():
+            assert total <= by_id[parent_id]["duration_ns"] * 1.01
+        # metric samples ride along in the same file
+        assert any(r["kind"] == "metric" for r in records)

@@ -215,3 +215,37 @@ class TestCostMemo:
         assert info["entries"] == 1
         dispatcher.plan_cost(0, self._plan())
         assert dispatcher.cache_info()["hits"] == 1
+
+    def test_group_nodes_memo_counts_per_lookup(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        # same member set priced three times: one nodes miss, two hits
+        for _ in range(3):
+            dispatcher.plan_cost(0, self._plan())
+        info = dispatcher.cache_info()
+        assert info["nodes_misses"] == 1
+        assert info["nodes_hits"] == 2
+        assert info["nodes_entries"] == 1
+
+    def test_cache_stats_land_on_registry(self, line_setup):
+        from repro.obs import MetricsRegistry
+
+        routing, subs = line_setup
+        registry = MetricsRegistry()
+        dispatcher = Dispatcher(routing, subs, "dense", registry=registry)
+        dispatcher.plan_cost(0, self._plan())
+        dispatcher.plan_cost(0, self._plan())
+        samples = registry.snapshot()
+        assert all(
+            s["name"] == "dispatcher_cache_lookups_total" for s in samples
+        )
+        by_key = {
+            (s["labels"]["cache"], s["labels"]["result"]): s["value"]
+            for s in samples
+        }
+        assert by_key[("group_cost", "miss")] == 1
+        assert by_key[("group_cost", "hit")] == 1
+        # every sample is tagged with the scheme and this instance
+        assert all(s["labels"]["scheme"] == "dense" for s in samples)
+        instances = {s["labels"]["instance"] for s in samples}
+        assert len(instances) == 1

@@ -68,3 +68,14 @@ class TestExamples:
         run_example("broker_simulation.py")
         out = capsys.readouterr().out
         assert "realised improvement" in out
+
+    def test_profiled_sweep(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.jsonl"
+        run_example("profiled_sweep.py", argv=["--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        assert "clustering.fit" in out
+        assert "delivery.plan_costs" in out
+        assert "pipeline counters:" in out
+        assert "matching_events_total" in out
+        assert trace.exists()
