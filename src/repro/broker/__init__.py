@@ -3,6 +3,13 @@ subscriptions, lazily re-balanced multicast groups and delivery
 accounting."""
 
 from .broker import BrokerConfig, ContentBroker, DeliveryReceipt
+from .rebuild import RebuildScheduler
 from .stats import DeliveryStats
 
-__all__ = ["BrokerConfig", "ContentBroker", "DeliveryReceipt", "DeliveryStats"]
+__all__ = [
+    "BrokerConfig",
+    "ContentBroker",
+    "DeliveryReceipt",
+    "DeliveryStats",
+    "RebuildScheduler",
+]

@@ -24,9 +24,10 @@ from ..delivery import AdaptiveDeliveryPolicy, Dispatcher
 from ..geometry import EventSpace, Rectangle
 from ..grid import CellSet, build_cell_set
 from ..matching import DeliveryPlan, GridMatcher
-from ..network import RoutingTables
+from ..network import RoutingTables, unicast_cost
 from ..obs import get_tracer
 from ..workload import Subscription, SubscriptionSet
+from .rebuild import RebuildScheduler
 from .stats import DeliveryStats
 
 __all__ = ["BrokerConfig", "DeliveryReceipt", "ContentBroker"]
@@ -57,6 +58,18 @@ class BrokerConfig:
     #: broadcast"); the penalty discounts against flooding
     adaptive: bool = False
     broadcast_penalty: float = 1.0
+    #: churn-driven rebuild policy (virtual-clock driven via
+    #: :meth:`ContentBroker.notify_change` / :meth:`ContentBroker.tick`):
+    #: quiet period required after the last change, and exponential
+    #: backoff between consecutive rebuilds
+    rebuild_debounce: float = 0.0
+    rebuild_backoff_base: float = 0.0
+    rebuild_backoff_factor: float = 2.0
+    rebuild_backoff_max: float = 60.0
+    #: accumulated change weight (as a fraction of the subscriber
+    #: population) beyond which the rebuild re-clusters cold instead of
+    #: warm-starting from the stale grouping
+    full_rebuild_fraction: float = 0.3
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("forgy", "kmeans"):
@@ -67,6 +80,8 @@ class BrokerConfig:
             raise ValueError("rebalance_after must be positive")
         if self.broadcast_penalty < 1.0:
             raise ValueError("broadcast_penalty must be at least 1")
+        if not 0.0 <= self.full_rebuild_fraction <= 1.0:
+            raise ValueError("full_rebuild_fraction must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -80,8 +95,12 @@ class DeliveryReceipt:
     ideal_cost: float
     wasted_deliveries: int
     #: delivery mode actually executed ("plan" for the fixed policy,
-    #: else the adaptive choice)
+    #: "fault" for the degraded path, else the adaptive choice)
     mode: str = "plan"
+    #: fault-aware classification: delivered / degraded / lost
+    outcome: str = "delivered"
+    #: interested subscribers whose node was down or partitioned away
+    lost_deliveries: int = 0
 
 
 class ContentBroker:
@@ -112,6 +131,12 @@ class ContentBroker:
         self._internal_of: Dict[int, int] = {}
         self._external_of: List[int] = []
         self._policy: Optional[AdaptiveDeliveryPolicy] = None
+        self._scheduler = RebuildScheduler(
+            debounce=self.config.rebuild_debounce,
+            backoff_base=self.config.rebuild_backoff_base,
+            backoff_factor=self.config.rebuild_backoff_factor,
+            backoff_max=self.config.rebuild_backoff_max,
+        )
 
     # ------------------------------------------------------------------
     # subscription management
@@ -148,8 +173,43 @@ class ContentBroker:
     # ------------------------------------------------------------------
     # clustering lifecycle
     # ------------------------------------------------------------------
-    def rebuild(self) -> None:
-        """Recompute the grouping state from the active subscriptions."""
+    def notify_change(self, now: float, weight: int = 1) -> None:
+        """Record fault/churn activity on the virtual clock.
+
+        ``weight`` scales by how many subscribers the change touches (a
+        node failure is as disruptive as that node's population); it
+        feeds both the debounce and the full-vs-incremental decision.
+        """
+        self._scheduler.note_change(now, weight)
+
+    def tick(self, now: float) -> bool:
+        """Rebuild if the debounced, backed-off policy says it is due.
+
+        Returns True when a rebuild actually ran.  A change burst heavier
+        than ``full_rebuild_fraction`` of the population triggers a cold
+        re-cluster; lighter churn warm-starts from the stale grouping.
+        """
+        if not self._scheduler.due(now):
+            return False
+        population = max(1, len(self._active))
+        full = (
+            self._scheduler.pending_weight / population
+            >= self.config.full_rebuild_fraction
+        )
+        self._scheduler.fired(now)
+        self.rebuild(full=full)
+        return True
+
+    def subscribers_at(self, node: int) -> int:
+        """Active subscriptions registered at a network node."""
+        return sum(1 for n, _ in self._active.values() if n == node)
+
+    def rebuild(self, full: bool = False) -> None:
+        """Recompute the grouping state from the active subscriptions.
+
+        ``full`` forces a cold re-cluster, discarding the warm-start
+        grouping even when the configuration would normally inherit it.
+        """
         if not self._active:
             self._subscriptions = None
             self._matcher = None
@@ -179,7 +239,9 @@ class ContentBroker:
                 self.space, subs, self.cell_pmf,
                 max_cells=self.config.max_cells,
             )
-            algorithm = self._make_algorithm(old_clustering, cells)
+            algorithm = self._make_algorithm(
+                None if full else old_clustering, cells
+            )
             self._clustering = algorithm.fit(cells, self.config.n_groups)
             self._subscriptions = subs
             self._matcher = GridMatcher(
@@ -206,7 +268,10 @@ class ContentBroker:
                 )
             span.set("membership_changes", churn)
             span.set("n_groups", self._clustering.n_groups)
-        self.stats.record_rebuild(time.perf_counter() - start, churn)
+            span.set("full", full)
+        self.stats.record_rebuild(
+            time.perf_counter() - start, churn, full=full
+        )
 
     def _group_node_sets(self):
         """Current groups as frozensets of *node* ids (node-level group
@@ -282,14 +347,29 @@ class ContentBroker:
     # publishing
     # ------------------------------------------------------------------
     def publish(
-        self, point: Sequence[float], publisher: int
+        self,
+        point: Sequence[float],
+        publisher: int,
+        now: Optional[float] = None,
     ) -> DeliveryReceipt:
-        """Match, deliver and price one event."""
+        """Match, deliver and price one event.
+
+        ``now`` is the virtual-clock timestamp under fault injection; it
+        drives the debounced rebuild policy.  When the network currently
+        has failed nodes or links, delivery degrades gracefully: groups
+        whose multicast tree traverses a failed element fall back to
+        per-subscriber unicast, and subscribers on down or partitioned
+        nodes are counted lost — never silently dropped.
+        """
+        if now is not None:
+            self.tick(now)
         if not self._active:
             receipt = DeliveryReceipt(0, False, 0.0, 0.0, 0.0, 0)
             self.stats.record(0.0, 0.0, 0.0, False, 0, 0)
             return receipt
         self._ensure_fresh()
+        if self.routing.failed_nodes or self.routing.down_links:
+            return self._publish_degraded(point, publisher)
         plan = self._matcher.match(point)
         plan.validate_complete()
         unicast = self._dispatcher.unicast_reference(publisher, plan.interested)
@@ -324,6 +404,126 @@ class ContentBroker:
         self.stats.record(
             cost, unicast, ideal, used_multicast, len(plan.interested),
             wasted,
+        )
+        return receipt
+
+    def _publish_degraded(
+        self, point: Sequence[float], publisher: int
+    ) -> DeliveryReceipt:
+        """Deliver one event over a network with active faults.
+
+        Contract: every interested subscriber either receives the event
+        (through its group's tree, a unicast fallback leg, or a plain
+        unicast leg) or lands in ``lost_deliveries``.  Groups whose node
+        set touches a failed or partitioned element lost their multicast
+        tree and are served by unicast to their reachable members until
+        the next rebuild re-clusters around the damage.
+        """
+        plan = self._matcher.match(point)
+        plan.validate_complete()
+        failed = self.routing.failed_nodes
+        all_nodes = self._subscriptions.subscriber_nodes
+        interested = np.asarray(plan.interested, dtype=np.int64)
+        n_interested = len(interested)
+
+        if publisher in failed:
+            # nothing leaves a down publisher: the whole audience is lost
+            receipt = DeliveryReceipt(
+                n_interested, False, 0.0, 0.0, 0.0, 0,
+                mode="fault", outcome="lost", lost_deliveries=n_interested,
+            )
+            self.stats.record(
+                0.0, 0.0, 0.0, False, n_interested, 0,
+                outcome="lost", lost_deliveries=n_interested,
+            )
+            return receipt
+
+        dist, _ = self.routing.shortest_paths(publisher).arrays()
+        ok_node = np.isfinite(dist)
+        if failed:
+            ok_node[list(failed)] = False
+
+        int_nodes = all_nodes[interested]
+        int_ok = ok_node[int_nodes]
+        reachable_int = interested[int_ok]
+        n_lost = n_interested - len(reachable_int)
+
+        if n_interested and len(reachable_int) == 0:
+            receipt = DeliveryReceipt(
+                n_interested, False, 0.0, 0.0, 0.0, 0,
+                mode="fault", outcome="lost", lost_deliveries=n_lost,
+            )
+            self.stats.record(
+                0.0, 0.0, 0.0, False, n_interested, 0,
+                outcome="lost", lost_deliveries=n_lost,
+            )
+            return receipt
+
+        reach_nodes = np.unique(int_nodes[int_ok])
+        unicast = self._dispatcher.unicast_reference(
+            publisher, reachable_int, nodes=reach_nodes
+        )
+        ideal = self._dispatcher.ideal_reference(
+            publisher, reachable_int, nodes=reach_nodes
+        )
+
+        total = 0.0
+        fallback_cost = 0.0
+        degraded_groups = 0
+        covered_nodes: List[np.ndarray] = []
+        covered_subs: List[np.ndarray] = []
+        for members in plan.group_members:
+            members = np.asarray(members, dtype=np.int64)
+            group_nodes = self._dispatcher.group_nodes(members)
+            live = ok_node[group_nodes]
+            if live.all():
+                total += self._dispatcher.group_cost(publisher, group_nodes)
+                covered_nodes.append(group_nodes)
+                covered_subs.append(members)
+            else:
+                # the group's tree traversed a failed element: per-member
+                # unicast to whoever is still reachable
+                degraded_groups += 1
+                live_nodes = group_nodes[live]
+                leg = unicast_cost(self.routing, publisher, live_nodes)
+                total += leg
+                fallback_cost += leg
+                covered_nodes.append(live_nodes)
+                covered_subs.append(members[ok_node[all_nodes[members]]])
+        uni_subs = np.asarray(plan.unicast_subscribers, dtype=np.int64)
+        if len(uni_subs):
+            live_uni = uni_subs[ok_node[all_nodes[uni_subs]]]
+            uni_nodes = np.unique(all_nodes[live_uni])
+            if covered_nodes:
+                already = np.unique(np.concatenate(covered_nodes))
+                uni_nodes = np.setdiff1d(uni_nodes, already)
+            total += unicast_cost(self.routing, publisher, uni_nodes)
+            covered_subs.append(live_uni)
+
+        if covered_subs:
+            delivered_to = np.unique(np.concatenate(covered_subs))
+        else:
+            delivered_to = np.empty(0, dtype=np.int64)
+        wasted = int(len(np.setdiff1d(delivered_to, reachable_int)))
+        outcome = (
+            "degraded" if (degraded_groups or n_lost) else "delivered"
+        )
+        used_multicast = len(plan.group_members) > degraded_groups
+        receipt = DeliveryReceipt(
+            n_interested=n_interested,
+            used_multicast=used_multicast,
+            cost=total,
+            unicast_cost=unicast,
+            ideal_cost=ideal,
+            wasted_deliveries=wasted,
+            mode="fault",
+            outcome=outcome,
+            lost_deliveries=n_lost,
+        )
+        self.stats.record(
+            total, unicast, ideal, used_multicast, n_interested, wasted,
+            outcome=outcome, lost_deliveries=n_lost,
+            degraded_groups=degraded_groups, fallback_cost=fallback_cost,
         )
         return receipt
 

@@ -39,6 +39,26 @@ class DeliveryStats:
     #: wall clock spent rebuilding the grouping state (cell-set build +
     #: clustering fit + matcher/dispatcher construction)
     total_rebuild_seconds: float = 0.0
+    #: rebuilds that re-clustered cold (ignored the warm-start grouping)
+    n_full_rebuilds: int = 0
+    # ---- fault-injection outcome accounting ---------------------------
+    #: publications fully served through the planned groups
+    n_delivered: int = 0
+    #: publications that fell back to per-subscriber unicast for at
+    #: least one broken multicast group, or lost part of their audience
+    n_degraded: int = 0
+    #: publications whose entire interested audience was unreachable
+    n_lost: int = 0
+    #: subscriber-level deliveries owed across all publications
+    expected_deliveries: int = 0
+    #: subscriber-level deliveries that could not be made (down or
+    #: partitioned nodes) — explicitly counted, never silently dropped
+    lost_deliveries: int = 0
+    #: multicast groups served by unicast fallback because their tree
+    #: traversed a failed element
+    n_degraded_groups: int = 0
+    #: network cost spent on those fallback unicasts
+    unicast_fallback_cost: float = 0.0
 
     def record(
         self,
@@ -48,13 +68,36 @@ class DeliveryStats:
         used_multicast: bool,
         n_interested: int,
         wasted: int,
+        outcome: str = "delivered",
+        lost_deliveries: int = 0,
+        degraded_groups: int = 0,
+        fallback_cost: float = 0.0,
     ) -> None:
-        """Fold one delivered event into the totals."""
+        """Fold one publication into the totals.
+
+        ``outcome`` is the fault-aware classification: ``"delivered"``
+        (the plan executed as priced), ``"degraded"`` (unicast fallback
+        and/or partial audience loss) or ``"lost"`` (nobody reachable).
+        Every interested subscriber lands in ``expected_deliveries`` and
+        either reaches its node or is counted in ``lost_deliveries``.
+        """
+        if outcome not in ("delivered", "degraded", "lost"):
+            raise ValueError(f"unknown outcome {outcome!r}")
         self.n_events += 1
         self.total_cost += cost
         self.total_unicast_cost += unicast_cost
         self.total_ideal_cost += ideal_cost
         self.total_wasted_deliveries += wasted
+        self.expected_deliveries += int(n_interested)
+        self.lost_deliveries += int(lost_deliveries)
+        self.n_degraded_groups += int(degraded_groups)
+        self.unicast_fallback_cost += float(fallback_cost)
+        if outcome == "delivered":
+            self.n_delivered += 1
+        elif outcome == "degraded":
+            self.n_degraded += 1
+        else:
+            self.n_lost += 1
         if n_interested == 0:
             self.n_no_interest += 1
             kind = "no_interest"
@@ -64,19 +107,38 @@ class DeliveryStats:
         else:
             self.n_unicast_only += 1
             kind = "unicast_only"
-        get_registry().counter(
+        registry = get_registry()
+        registry.counter(
             "broker_events_total", "events delivered by brokers"
         ).inc(kind=kind)
+        registry.counter(
+            "broker_publications_total",
+            "publication outcomes under fault injection",
+        ).inc(outcome=outcome)
+        if lost_deliveries:
+            registry.counter(
+                "broker_lost_deliveries_total",
+                "subscriber deliveries lost to failed network elements",
+            ).inc(int(lost_deliveries))
 
-    def record_rebuild(self, seconds: float, membership_changes: int) -> None:
-        """Fold one grouping rebuild (timing + join/leave churn)."""
+    def record_rebuild(
+        self, seconds: float, membership_changes: int, full: bool = False
+    ) -> None:
+        """Fold one grouping rebuild (timing + join/leave churn).
+
+        Safe under overlapping debounce windows: every call folds its
+        own deltas, so two rebuilds racing through one coalesced change
+        burst still sum — nothing is keyed on "the" current rebuild.
+        """
         self.n_rebuilds += 1
+        if full:
+            self.n_full_rebuilds += 1
         self.total_rebuild_seconds += float(seconds)
         self.group_membership_changes += int(membership_changes)
         registry = get_registry()
         registry.counter(
             "broker_rebuilds_total", "grouping rebuilds performed"
-        ).inc()
+        ).inc(kind="full" if full else "incremental")
         registry.counter(
             "broker_membership_changes_total",
             "subscriber join/leave operations across rebuilds",
@@ -92,6 +154,13 @@ class DeliveryStats:
         if headroom <= 1e-12:
             return 0.0
         return 100.0 * (self.total_unicast_cost - self.total_cost) / headroom
+
+    @property
+    def availability(self) -> float:
+        """Fraction of owed subscriber deliveries actually made."""
+        if self.expected_deliveries == 0:
+            return 1.0
+        return 1.0 - self.lost_deliveries / self.expected_deliveries
 
     @property
     def multicast_rate(self) -> float:
@@ -114,6 +183,15 @@ class DeliveryStats:
             "improvement_percentage": self.improvement_percentage,
             "multicast_rate": self.multicast_rate,
             "n_rebuilds": self.n_rebuilds,
+            "n_full_rebuilds": self.n_full_rebuilds,
             "group_membership_changes": self.group_membership_changes,
             "total_rebuild_seconds": self.total_rebuild_seconds,
+            "n_delivered": self.n_delivered,
+            "n_degraded": self.n_degraded,
+            "n_lost": self.n_lost,
+            "expected_deliveries": self.expected_deliveries,
+            "lost_deliveries": self.lost_deliveries,
+            "availability": self.availability,
+            "n_degraded_groups": self.n_degraded_groups,
+            "unicast_fallback_cost": self.unicast_fallback_cost,
         }

@@ -62,21 +62,28 @@ class Dispatcher:
         scheme: str = "dense",
         core: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        max_entries: Optional[int] = None,
     ) -> None:
         """``core`` designates the sparse-mode rendezvous point; when
         omitted the network's 1-median is used (computed lazily, only
         when the sparse scheme actually prices a plan).  ``registry``
         overrides the process-wide metrics registry the cache statistics
-        are recorded into."""
+        are recorded into.  ``max_entries`` bounds each memo; the oldest
+        entry is evicted when the bound is hit (``None`` = unbounded)."""
         if scheme not in SCHEMES:
             raise ValueError(f"scheme must be one of {SCHEMES}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
         self.routing = routing
         self.subscriptions = subscriptions
         self.scheme = scheme
         self._core = core
+        self._core_given = core is not None
+        self._max_entries = max_entries
         # multicast-cost memo: a clustering's group node-sets are frozen,
-        # so the cost of reaching a group from a given publisher never
-        # changes — price it once and replay it for every later event
+        # so the cost of reaching a group from a given publisher only
+        # changes when the topology does — price it once and replay it,
+        # dropping entries when routing invalidates their publisher's tree
         self._group_cost_cache: Dict[Tuple[int, bytes], float] = {}
         self._group_nodes_cache: Dict[bytes, np.ndarray] = {}
         # registry-backed hit/miss accounting, one label set per live
@@ -86,6 +93,14 @@ class Dispatcher:
         lookups = registry.counter(
             "dispatcher_cache_lookups_total",
             "per-lookup hit/miss counts of the dispatcher memos",
+        )
+        # entry-lifecycle events are a separate family: an invalidation
+        # (topology change made the entry wrong) is not an eviction
+        # (capacity pressure dropped a still-correct entry), and chaos
+        # runs must not masquerade as cache churn
+        dropped = registry.counter(
+            "dispatcher_cache_entries_dropped_total",
+            "memo entries dropped, by cause",
         )
         instance = f"d{next(_instance_ids)}"
         self._cost_hits = lookups.labels(
@@ -100,6 +115,23 @@ class Dispatcher:
         self._nodes_misses = lookups.labels(
             cache="group_nodes", result="miss", scheme=scheme, instance=instance
         )
+        self._cost_invalidations = dropped.labels(
+            cache="group_cost", reason="invalidation", scheme=scheme,
+            instance=instance,
+        )
+        self._cost_evictions = dropped.labels(
+            cache="group_cost", reason="eviction", scheme=scheme,
+            instance=instance,
+        )
+        self._nodes_invalidations = dropped.labels(
+            cache="group_nodes", reason="invalidation", scheme=scheme,
+            instance=instance,
+        )
+        self._nodes_evictions = dropped.labels(
+            cache="group_nodes", reason="eviction", scheme=scheme,
+            instance=instance,
+        )
+        routing.add_invalidation_listener(self._on_topology_change)
 
     @property
     def core(self) -> int:
@@ -107,6 +139,36 @@ class Dispatcher:
         if self._core is None:
             self._core = select_core(self.routing)
         return self._core
+
+    # ------------------------------------------------------------------
+    def _on_topology_change(self, sources) -> None:
+        """Routing invalidation hook: drop only the memo entries whose
+        priced trees traverse the changed part of the network.
+
+        Dense-mode costs depend solely on the publisher's shortest-path
+        tree, so entries of unaffected publishers survive.  ALM and
+        sparse costs route through the metric closure / the core's shared
+        tree, which any topology change can alter — those schemes flush.
+        """
+        if self.scheme == "dense" and sources is not None:
+            keys = [k for k in self._group_cost_cache if k[0] in sources]
+            for key in keys:
+                del self._group_cost_cache[key]
+            dropped = len(keys)
+        else:
+            dropped = len(self._group_cost_cache)
+            self._group_cost_cache.clear()
+        if dropped:
+            self._cost_invalidations.inc(dropped)
+        if not self._core_given:
+            # re-elect the rendezvous point on the changed topology
+            self._core = None
+
+    def invalidate(self, sources=None) -> None:
+        """Manually drop cost-memo entries (all, or per-publisher set)."""
+        self._on_topology_change(
+            frozenset(sources) if sources is not None else None
+        )
 
     # ------------------------------------------------------------------
     def plan_cost(self, publisher: int, plan: DeliveryPlan) -> float:
@@ -163,6 +225,14 @@ class Dispatcher:
         if nodes is None:
             self._nodes_misses.inc()
             nodes = self.subscriptions.nodes_of_subscribers(arr)
+            if (
+                self._max_entries is not None
+                and len(self._group_nodes_cache) >= self._max_entries
+            ):
+                self._group_nodes_cache.pop(
+                    next(iter(self._group_nodes_cache))
+                )
+                self._nodes_evictions.inc()
             self._group_nodes_cache[key] = nodes
         else:
             self._nodes_hits.inc()
@@ -180,6 +250,14 @@ class Dispatcher:
         if cost is None:
             self._cost_misses.inc()
             cost = self._group_cost(publisher, nodes)
+            if (
+                self._max_entries is not None
+                and len(self._group_cost_cache) >= self._max_entries
+            ):
+                self._group_cost_cache.pop(
+                    next(iter(self._group_cost_cache))
+                )
+                self._cost_evictions.inc()
             self._group_cost_cache[key] = cost
         else:
             self._cost_hits.inc()
@@ -200,6 +278,10 @@ class Dispatcher:
 
         Thin shim over the registry-backed counters; the historical keys
         are preserved, with the node-set memo's counts alongside.
+        Entries dropped because a topology change made them stale are
+        reported as ``invalidations``, distinct from capacity
+        ``evictions`` — a chaos run shows up as invalidation traffic, not
+        as ordinary cache churn.
         """
         hits, misses = self.cache_hits, self.cache_misses
         lookups = hits + misses
@@ -208,9 +290,13 @@ class Dispatcher:
             "misses": misses,
             "entries": len(self._group_cost_cache),
             "hit_rate": hits / lookups if lookups else 0.0,
+            "invalidations": int(self._cost_invalidations.value),
+            "evictions": int(self._cost_evictions.value),
             "nodes_hits": int(self._nodes_hits.value),
             "nodes_misses": int(self._nodes_misses.value),
             "nodes_entries": len(self._group_nodes_cache),
+            "nodes_invalidations": int(self._nodes_invalidations.value),
+            "nodes_evictions": int(self._nodes_evictions.value),
         }
 
     def reset_cache_stats(self) -> None:
@@ -219,6 +305,10 @@ class Dispatcher:
         self._cost_misses.reset()
         self._nodes_hits.reset()
         self._nodes_misses.reset()
+        self._cost_invalidations.reset()
+        self._cost_evictions.reset()
+        self._nodes_invalidations.reset()
+        self._nodes_evictions.reset()
 
     def _group_cost(self, publisher: int, nodes) -> float:
         """Cost of one multicast transmission under the active scheme."""

@@ -1,0 +1,20 @@
+"""Fault injection: deterministic chaos schedules and recovery replay.
+
+The subsystem the paper's static evaluation lacks: seeded node/link
+failures and subscription churn on a virtual clock
+(:class:`FaultSchedule`), replayed over any scenario by
+:class:`ChaosRunner`, with the resulting delivery degradation and
+recovery activity summarised in a :class:`DegradationReport`.
+"""
+
+from .chaos import ChaosRunner
+from .report import DegradationReport
+from .schedule import KINDS, FaultEvent, FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "KINDS",
+    "ChaosRunner",
+    "DegradationReport",
+]

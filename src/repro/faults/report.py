@@ -1,0 +1,152 @@
+"""Degradation reports: what a chaos run did to delivery quality.
+
+The report aggregates the fault-aware outcome accounting
+(delivered/degraded/lost publications, subscriber-level availability),
+the cost of degrading (unicast fallback spend, extra cost over a
+no-fault baseline), and the recovery machinery's activity (rebuild
+count, full-vs-incremental split, rebuild latency).  It renders as an
+aligned text table for the CLI and exports as a JSONL record compatible
+with the :mod:`repro.obs` trace pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["DegradationReport"]
+
+
+@dataclass
+class DegradationReport:
+    """Outcome of replaying a fault schedule over one scenario."""
+
+    scenario: str
+    horizon: float
+    n_faults: Dict[str, int]
+    # publication outcomes
+    n_publications: int = 0
+    n_delivered: int = 0
+    n_degraded: int = 0
+    n_lost: int = 0
+    # subscriber-level delivery accounting
+    expected_deliveries: int = 0
+    lost_deliveries: int = 0
+    availability: float = 1.0
+    # costs
+    total_cost: float = 0.0
+    unicast_fallback_cost: float = 0.0
+    n_degraded_groups: int = 0
+    baseline_cost: Optional[float] = None
+    # recovery machinery
+    n_rebuilds: int = 0
+    n_full_rebuilds: int = 0
+    total_rebuild_seconds: float = 0.0
+    #: per-publication delivery costs, in publish order (byte-identity
+    #: checks compare these arrays across runs)
+    per_event_costs: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def silently_lost(self) -> int:
+        """Deliveries unaccounted for — must be zero by construction."""
+        return self.n_publications - (
+            self.n_delivered + self.n_degraded + self.n_lost
+        )
+
+    @property
+    def extra_cost(self) -> Optional[float]:
+        """Cost paid beyond the no-fault baseline (None without one)."""
+        if self.baseline_cost is None:
+            return None
+        return self.total_cost - self.baseline_cost
+
+    @property
+    def mean_rebuild_seconds(self) -> float:
+        if self.n_rebuilds == 0:
+            return 0.0
+        return self.total_rebuild_seconds / self.n_rebuilds
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        return {
+            "scenario": self.scenario,
+            "horizon": self.horizon,
+            "n_faults": dict(self.n_faults),
+            "n_publications": self.n_publications,
+            "n_delivered": self.n_delivered,
+            "n_degraded": self.n_degraded,
+            "n_lost": self.n_lost,
+            "silently_lost": self.silently_lost,
+            "expected_deliveries": self.expected_deliveries,
+            "lost_deliveries": self.lost_deliveries,
+            "availability": self.availability,
+            "total_cost": self.total_cost,
+            "unicast_fallback_cost": self.unicast_fallback_cost,
+            "n_degraded_groups": self.n_degraded_groups,
+            "baseline_cost": self.baseline_cost,
+            "extra_cost": self.extra_cost,
+            "n_rebuilds": self.n_rebuilds,
+            "n_full_rebuilds": self.n_full_rebuilds,
+            "total_rebuild_seconds": self.total_rebuild_seconds,
+            "mean_rebuild_seconds": self.mean_rebuild_seconds,
+        }
+
+    def write_jsonl(self, path, manifest=None) -> int:
+        """Append-friendly JSONL export: optional manifest record first,
+        then the report, then one record per publication cost."""
+        records: List[Dict] = []
+        if manifest is not None:
+            records.append({"kind": "manifest", **manifest.as_dict()})
+        records.append({"kind": "degradation_report", **self.as_dict()})
+        for index, cost in enumerate(self.per_event_costs):
+            records.append(
+                {"kind": "publication", "index": index, "cost": cost}
+            )
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record))
+                handle.write("\n")
+        return len(records)
+
+    def format(self) -> str:
+        """Aligned text table for terminal output."""
+        fault_text = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.n_faults.items())
+            if count
+        ) or "none"
+        rows = [
+            ("publications", f"{self.n_publications}"),
+            ("  delivered", f"{self.n_delivered}"),
+            ("  degraded", f"{self.n_degraded}"),
+            ("  lost", f"{self.n_lost}"),
+            ("  silently lost", f"{self.silently_lost}"),
+            ("expected deliveries", f"{self.expected_deliveries}"),
+            ("lost deliveries", f"{self.lost_deliveries}"),
+            ("availability", f"{100.0 * self.availability:.2f} %"),
+            ("total cost", f"{self.total_cost:.1f}"),
+            ("unicast fallback cost", f"{self.unicast_fallback_cost:.1f}"),
+            ("degraded groups", f"{self.n_degraded_groups}"),
+        ]
+        if self.baseline_cost is not None:
+            rows.append(("baseline cost", f"{self.baseline_cost:.1f}"))
+            rows.append(("extra cost vs baseline", f"{self.extra_cost:+.1f}"))
+        rows += [
+            (
+                "rebuilds",
+                f"{self.n_rebuilds} ({self.n_full_rebuilds} full)",
+            ),
+            (
+                "mean rebuild latency",
+                f"{1000.0 * self.mean_rebuild_seconds:.1f} ms",
+            ),
+        ]
+        width = max(len(label) for label, _ in rows)
+        lines = [
+            f"Degradation report — {self.scenario} "
+            f"(horizon {self.horizon:g}, faults: {fault_text})"
+        ]
+        lines += [f"{label:<{width}}  {value}" for label, value in rows]
+        return "\n".join(lines)

@@ -10,6 +10,7 @@ from .multicast import (
     ideal_multicast_cost,
     select_core,
     sparse_multicast_cost,
+    split_reachable,
     unicast_cost,
 )
 from .routing import RoutingTables
@@ -30,4 +31,5 @@ __all__ = [
     "application_multicast_cost",
     "sparse_multicast_cost",
     "select_core",
+    "split_reachable",
 ]

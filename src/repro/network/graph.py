@@ -178,6 +178,11 @@ class Graph:
         self._n = n_nodes
         self._adj: List[Dict[int, float]] = [dict() for _ in range(n_nodes)]
         self._n_edges = 0
+        self._version = 0
+        self._down: set = set()
+        # edges detached by a node failure, waiting to return when the
+        # node comes back; keyed per down node as {neighbor: cost}
+        self._stash: Dict[int, Dict[int, float]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -194,14 +199,107 @@ class Graph:
             raise ValueError("self-loops are not allowed")
         if cost < 0:
             raise ValueError("edge costs must be non-negative")
+        if u in self._down or v in self._down:
+            raise ValueError("cannot add an edge incident to a failed node")
         existing = self._adj[u].get(v)
         if existing is None:
             self._n_edges += 1
             self._adj[u][v] = cost
             self._adj[v][u] = cost
+            self._version += 1
         elif cost < existing:
             self._adj[u][v] = cost
             self._adj[v][u] = cost
+            self._version += 1
+
+    # ------------------------------------------------------------------
+    # fault machinery: incremental removal and restoration
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic topology version, bumped on every mutation."""
+        return self._version
+
+    @property
+    def failed_nodes(self) -> frozenset:
+        """Nodes currently marked down."""
+        return frozenset(self._down)
+
+    def is_node_down(self, u: int) -> bool:
+        self._check_node(u)
+        return u in self._down
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Detach the edge ``{u, v}`` and return its cost.
+
+        The edge may be live or stashed on a down endpoint (a link can
+        fail while one of its ends is already down); either way it is
+        gone until explicitly restored.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if v in self._adj[u]:
+            cost = self._adj[u].pop(v)
+            del self._adj[v][u]
+            self._n_edges -= 1
+            self._version += 1
+            return cost
+        for a, b in ((u, v), (v, u)):
+            stash = self._stash.get(a)
+            if stash is not None and b in stash:
+                self._version += 1
+                return stash.pop(b)
+        raise KeyError(f"no edge between {u} and {v}")
+
+    def restore_edge(self, u: int, v: int, cost: float) -> None:
+        """Bring the edge ``{u, v}`` back.
+
+        If an endpoint is currently down the edge is parked in that
+        node's stash and returns to the graph when the node does.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u in self._down:
+            self._stash[u][v] = cost
+            self._version += 1
+        elif v in self._down:
+            self._stash[v][u] = cost
+            self._version += 1
+        else:
+            self.add_edge(u, v, cost)
+
+    def remove_node(self, u: int) -> int:
+        """Mark ``u`` down, detaching its incident edges; returns their
+        count.  The edges are stashed and come back on :meth:`restore_node`."""
+        self._check_node(u)
+        if u in self._down:
+            raise ValueError(f"node {u} is already down")
+        stash = dict(self._adj[u])
+        for v in stash:
+            del self._adj[v][u]
+        self._adj[u] = {}
+        self._n_edges -= len(stash)
+        self._stash[u] = stash
+        self._down.add(u)
+        self._version += 1
+        return len(stash)
+
+    def restore_node(self, u: int) -> None:
+        """Bring ``u`` back up, re-attaching its stashed edges.
+
+        Edges whose other endpoint is still down migrate to that node's
+        stash so the link reappears once both ends are alive."""
+        self._check_node(u)
+        if u not in self._down:
+            raise ValueError(f"node {u} is not down")
+        self._down.discard(u)
+        stash = self._stash.pop(u)
+        self._version += 1
+        for v, cost in stash.items():
+            if v in self._down:
+                self._stash[v][u] = cost
+            else:
+                self.add_edge(u, v, cost)
 
     # ------------------------------------------------------------------
     # accessors

@@ -6,30 +6,71 @@ and, for application-level multicast, pairwise shortest-path distances
 between group members.  :class:`RoutingTables` computes both lazily and
 memoises them, so a simulation touching only a handful of publisher nodes
 never pays for all-pairs Dijkstra.
+
+Fault injection mutates the topology *in place* through the
+``fail_link`` / ``heal_link`` / ``fail_node`` / ``heal_node`` methods.
+Each mutation invalidates exactly the cached shortest-path trees the
+change can affect (the rest stay warm):
+
+* a removed edge breaks only the trees that use it as a tree edge;
+* a restored edge invalidates only trees it could shorten
+  (``dist[u] + c < dist[v]`` in either direction);
+* a removed node invalidates trees that could reach it;
+* a restored node invalidates trees that can reach one of its
+  re-attached neighbors (otherwise it stays unreachable and nothing
+  changes).
+
+Downstream caches (the dispatcher's multicast-cost memo) subscribe via
+:meth:`add_invalidation_listener` and are told which sources were
+dropped, so chaos runs invalidate surgically instead of flushing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import math
+import weakref
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import get_registry
 from .graph import Graph, ShortestPaths
 
 __all__ = ["RoutingTables"]
 
+#: an invalidation callback; receives the set of dropped shortest-path
+#: sources, or ``None`` meaning "assume everything changed"
+InvalidationListener = Callable[[Optional[FrozenSet[int]]], None]
+
 
 class RoutingTables:
-    """Memoised shortest-path state for a fixed graph."""
+    """Memoised shortest-path state for a mutable graph."""
 
     def __init__(self, graph: Graph) -> None:
         self._graph = graph
         self._sp: Dict[int, ShortestPaths] = {}
         self._dist_matrix: Optional[np.ndarray] = None
+        self._listeners: List[weakref.ref] = []
+        # cost of each currently-failed link, for restoration
+        self._down_links: Dict[Tuple[int, int], float] = {}
 
     @property
     def graph(self) -> Graph:
         return self._graph
+
+    @property
+    def topology_version(self) -> int:
+        """The underlying graph's mutation counter."""
+        return self._graph.version
+
+    @property
+    def failed_nodes(self) -> frozenset:
+        return self._graph.failed_nodes
+
+    @property
+    def down_links(self) -> Dict[Tuple[int, int], float]:
+        """Currently-failed links as ``{(u, v): cost}`` with ``u < v``."""
+        return dict(self._down_links)
 
     # ------------------------------------------------------------------
     def shortest_paths(self, source: int) -> ShortestPaths:
@@ -70,3 +111,106 @@ class RoutingTables:
     def cached_sources(self) -> List[int]:
         """Sources whose shortest-path trees are already built."""
         return sorted(self._sp)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def add_invalidation_listener(self, listener: InvalidationListener) -> None:
+        """Register a callback fired after every topology mutation.
+
+        Listeners are held weakly: a dispatcher that goes away (brokers
+        build a fresh one per rebuild) is pruned automatically instead of
+        leaking for the lifetime of the routing tables.
+        """
+        try:
+            ref: weakref.ref = weakref.WeakMethod(listener)
+        except TypeError:
+            ref = weakref.ref(listener)
+        self._listeners.append(ref)
+
+    def fail_link(self, u: int, v: int) -> float:
+        """Take the link ``{u, v}`` down; returns its cost."""
+        affected = frozenset(
+            s
+            for s, sp in self._sp.items()
+            if sp.pred[v] == u or sp.pred[u] == v
+        )
+        cost = self._graph.remove_edge(u, v)
+        self._down_links[(min(u, v), max(u, v))] = cost
+        self._record_fault("link_down")
+        self._invalidate(affected)
+        return cost
+
+    def heal_link(self, u: int, v: int) -> float:
+        """Bring a previously-failed link back; returns its cost."""
+        key = (min(u, v), max(u, v))
+        try:
+            cost = self._down_links.pop(key)
+        except KeyError:
+            raise KeyError(f"link ({u}, {v}) is not down") from None
+        self._graph.restore_edge(u, v, cost)
+        self._record_fault("link_up")
+        if self._graph.is_node_down(u) or self._graph.is_node_down(v):
+            # parked in a node stash; no live topology change yet
+            self._invalidate(frozenset())
+            return cost
+        affected = frozenset(
+            s
+            for s, sp in self._sp.items()
+            if sp.dist[u] + cost < sp.dist[v]
+            or sp.dist[v] + cost < sp.dist[u]
+        )
+        self._invalidate(affected)
+        return cost
+
+    def fail_node(self, u: int) -> int:
+        """Take node ``u`` down; returns the number of detached links."""
+        affected = frozenset(
+            s for s, sp in self._sp.items() if not math.isinf(sp.dist[u])
+        )
+        detached = self._graph.remove_node(u)
+        self._record_fault("node_down")
+        self._invalidate(affected)
+        return detached
+
+    def heal_node(self, u: int) -> None:
+        """Bring node ``u`` back up, re-attaching its stashed links."""
+        self._graph.restore_node(u)
+        neighbors = [v for v, _ in self._graph.neighbors(u)]
+        affected = set()
+        for s, sp in self._sp.items():
+            if s == u or any(not math.isinf(sp.dist[v]) for v in neighbors):
+                affected.add(s)
+        self._record_fault("node_up")
+        self._invalidate(frozenset(affected))
+
+    # ------------------------------------------------------------------
+    def _invalidate(self, sources: Optional[FrozenSet[int]]) -> None:
+        """Drop the named cached tables (all when ``None``) and notify."""
+        if sources is None:
+            self._sp.clear()
+        else:
+            for s in sources:
+                self._sp.pop(s, None)
+        self._dist_matrix = None
+        if sources is None or sources:
+            get_registry().counter(
+                "routing_invalidations_total",
+                "cached shortest-path trees dropped by topology changes",
+            ).inc(len(sources) if sources is not None else 1)
+        self._notify(sources)
+
+    def _notify(self, sources: Optional[FrozenSet[int]]) -> None:
+        live: List[weakref.ref] = []
+        for ref in self._listeners:
+            listener = ref()
+            if listener is not None:
+                listener(sources)
+                live.append(ref)
+        self._listeners = live
+
+    @staticmethod
+    def _record_fault(kind: str) -> None:
+        get_registry().counter(
+            "network_faults_total", "topology fault events applied"
+        ).inc(kind=kind)

@@ -124,6 +124,54 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--events", type=int, default=150)
         p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "chaos",
+        help="replay a fault schedule and report delivery degradation",
+        parents=[obs],
+    )
+    p.add_argument("--nodes", type=int, default=100)
+    p.add_argument("--subs", type=int, default=500)
+    p.add_argument("--events", type=int, default=150)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--groups", type=int, default=20)
+    p.add_argument("--horizon", type=float, default=100.0)
+    p.add_argument(
+        "--node-fail",
+        type=float,
+        default=0.1,
+        metavar="FRAC",
+        help="fraction of nodes that fail during the horizon",
+    )
+    p.add_argument("--link-faults", type=int, default=0)
+    p.add_argument("--churn", type=int, default=0,
+                   help="subscriber leave/join pairs during the horizon")
+    p.add_argument("--debounce", type=float, default=2.0,
+                   help="quiet period before a churn-driven rebuild")
+    p.add_argument("--backoff", type=float, default=1.0,
+                   help="base interval of the rebuild exponential backoff")
+    p.add_argument(
+        "--full-rebuild-fraction", type=float, default=0.3,
+        help="churn fraction beyond which rebuilds re-cluster cold",
+    )
+    p.add_argument(
+        "--schedule", metavar="PATH",
+        help="replay a JSON fault schedule instead of generating one",
+    )
+    p.add_argument(
+        "--save-schedule", metavar="PATH",
+        help="write the (generated) schedule as JSON",
+    )
+    p.add_argument(
+        "--report", metavar="PATH",
+        help="write the degradation report (+ per-publication costs) "
+        "as JSONL",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the no-fault baseline run (and the byte-identity "
+        "check for empty schedules)",
+    )
+
     return parser
 
 
@@ -249,6 +297,93 @@ def _run_command(args: argparse.Namespace) -> None:
                 f"{row['algorithm']:>14} {row['n_cells']:>6} "
                 f"{row['improvement_pct']:>9.1f} {row['fit_seconds']:>8.3f}"
             )
+    elif args.command == "chaos":
+        _run_chaos(args)
+
+
+def _run_chaos(args: argparse.Namespace) -> None:
+    from ..broker import BrokerConfig
+    from ..faults import ChaosRunner, FaultSchedule
+    from ..obs import RunManifest
+    from .scenario import build_preliminary_scenario
+
+    def scenario():
+        return build_preliminary_scenario(
+            n_nodes=args.nodes,
+            n_subscriptions=args.subs,
+            seed=args.seed,
+        )
+
+    chaos_scenario = scenario()
+    if args.schedule:
+        schedule = FaultSchedule.from_json(args.schedule)
+    else:
+        schedule = FaultSchedule.generate(
+            chaos_scenario.topology,
+            horizon=args.horizon,
+            seed=args.seed,
+            node_fraction=args.node_fail,
+            n_link_faults=args.link_faults,
+            n_churn=args.churn,
+            n_subscribers=args.subs,
+        )
+    if args.save_schedule:
+        schedule.to_json(args.save_schedule)
+        print(f"(schedule written to {args.save_schedule})")
+    config = BrokerConfig(
+        n_groups=args.groups,
+        rebalance_after=10**9,  # rebuilds are schedule-driven here
+        rebuild_debounce=args.debounce,
+        rebuild_backoff_base=args.backoff,
+        full_rebuild_fraction=args.full_rebuild_fraction,
+    )
+    report = ChaosRunner(
+        chaos_scenario,
+        schedule,
+        config=config,
+        n_events=args.events,
+        seed=args.seed,
+    ).run()
+
+    baseline = None
+    if not args.no_baseline:
+        baseline = ChaosRunner(
+            scenario(),
+            FaultSchedule(horizon=schedule.horizon),
+            config=config,
+            n_events=args.events,
+            seed=args.seed,
+        ).run()
+        report.baseline_cost = baseline.total_cost
+
+    print(report.format())
+    if baseline is not None and len(schedule) == 0:
+        identical = report.per_event_costs == baseline.per_event_costs
+        print(
+            "no-fault byte-identity vs baseline: "
+            + ("PASS" if identical else "FAIL")
+        )
+        if not identical:
+            raise SystemExit(
+                "no-fault chaos run diverged from the baseline"
+            )
+    if report.silently_lost:
+        raise SystemExit(
+            f"{report.silently_lost} publications silently lost"
+        )
+    if args.report:
+        manifest = RunManifest.capture(
+            argv=None,
+            command="chaos",
+            nodes=args.nodes,
+            subs=args.subs,
+            events=args.events,
+            seed=args.seed,
+            horizon=schedule.horizon,
+            faults=schedule.counts(),
+        )
+        n_records = report.write_jsonl(args.report, manifest=manifest)
+        print(f"({n_records} report records written to {args.report})")
 
 
 if __name__ == "__main__":

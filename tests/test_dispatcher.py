@@ -236,12 +236,17 @@ class TestCostMemo:
         dispatcher.plan_cost(0, self._plan())
         dispatcher.plan_cost(0, self._plan())
         samples = registry.snapshot()
-        assert all(
-            s["name"] == "dispatcher_cache_lookups_total" for s in samples
-        )
+        assert {s["name"] for s in samples} == {
+            "dispatcher_cache_lookups_total",
+            "dispatcher_cache_entries_dropped_total",
+        }
+        lookups = [
+            s for s in samples
+            if s["name"] == "dispatcher_cache_lookups_total"
+        ]
         by_key = {
             (s["labels"]["cache"], s["labels"]["result"]): s["value"]
-            for s in samples
+            for s in lookups
         }
         assert by_key[("group_cost", "miss")] == 1
         assert by_key[("group_cost", "hit")] == 1
@@ -249,3 +254,98 @@ class TestCostMemo:
         assert all(s["labels"]["scheme"] == "dense" for s in samples)
         instances = {s["labels"]["instance"] for s in samples}
         assert len(instances) == 1
+        # entry-lifecycle counters exist but saw no traffic
+        dropped = [
+            s for s in samples
+            if s["name"] == "dispatcher_cache_entries_dropped_total"
+        ]
+        assert dropped and all(s["value"] == 0 for s in dropped)
+
+
+class TestInvalidationVsEviction:
+    """Topology invalidations and capacity evictions are distinct causes
+    and must never be conflated in the cache statistics."""
+
+    def _group_plan(self, members):
+        members = np.asarray(members)
+        return DeliveryPlan(
+            interested=members, group_ids=[0], group_members=[members]
+        )
+
+    def test_dense_invalidation_is_surgical(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        plan = self._group_plan([0, 1])
+        dispatcher.plan_cost(0, plan)
+        dispatcher.plan_cost(3, plan)
+        assert dispatcher.cache_info()["entries"] == 2
+        # publisher 0's tree uses edge 2-3 to reach node 3; publisher
+        # 3's tree uses it too — but invalidation is keyed on whose
+        # cached *sources* routing dropped, so name publisher 0 only
+        dispatcher.invalidate(sources={0})
+        info = dispatcher.cache_info()
+        assert info["entries"] == 1
+        assert info["invalidations"] == 1
+        assert info["evictions"] == 0
+
+    def test_routing_fault_invalidates_through_listener(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        plan = self._group_plan([0, 1])
+        routing.precompute([0, 3])
+        dispatcher.plan_cost(0, plan)
+        dispatcher.plan_cost(3, plan)
+        # edge 2-3 is a tree edge of both cached trees
+        routing.fail_link(2, 3)
+        info = dispatcher.cache_info()
+        assert info["entries"] == 0
+        assert info["invalidations"] == 2
+        assert info["evictions"] == 0
+
+    def test_alm_flushes_on_any_topology_change(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "alm")
+        plan = self._group_plan([0, 1])
+        dispatcher.plan_cost(0, plan)
+        dispatcher.plan_cost(3, plan)
+        # ALM costs route through the metric closure: even a named-source
+        # invalidation flushes every entry
+        dispatcher.invalidate(sources={0})
+        info = dispatcher.cache_info()
+        assert info["entries"] == 0
+        assert info["invalidations"] == 2
+
+    def test_eviction_counted_separately(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense", max_entries=1)
+        dispatcher.plan_cost(0, self._group_plan([0, 1]))
+        dispatcher.plan_cost(1, self._group_plan([0, 1]))  # evicts first
+        info = dispatcher.cache_info()
+        assert info["entries"] == 1
+        assert info["evictions"] == 1
+        assert info["invalidations"] == 0
+
+    def test_node_memo_eviction_counted(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense", max_entries=1)
+        dispatcher.plan_cost(0, self._group_plan([0, 1]))
+        dispatcher.plan_cost(0, self._group_plan([1, 2]))
+        info = dispatcher.cache_info()
+        assert info["nodes_entries"] == 1
+        assert info["nodes_evictions"] == 1
+        assert info["nodes_invalidations"] == 0
+
+    def test_max_entries_validation(self, line_setup):
+        routing, subs = line_setup
+        with pytest.raises(ValueError, match="max_entries"):
+            Dispatcher(routing, subs, "dense", max_entries=0)
+
+    def test_sparse_core_reelected_after_invalidation(self, line_setup):
+        routing, subs = line_setup
+        auto = Dispatcher(routing, subs, "sparse")
+        _ = auto.core  # lazily elected 1-median
+        auto.invalidate()
+        assert auto._core is None  # re-elected on next use
+        pinned = Dispatcher(routing, subs, "sparse", core=2)
+        pinned.invalidate()
+        assert pinned.core == 2  # an explicit core survives
