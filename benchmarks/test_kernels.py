@@ -81,3 +81,34 @@ def test_stree_stab(benchmark, eval_ctx):
     hits = benchmark(tree.stab, point)
     expected = subs.matching_subscriptions(point)
     np.testing.assert_array_equal(hits, expected)
+
+
+def test_expected_waste_scalar_path(benchmark, membership):
+    """Hot-path guard: the scalar distance call and its counter handle.
+
+    ``expected_waste`` sits in the innermost loop of the exact pairwise
+    algorithm, so its eval counter must be a cached bound child — not a
+    per-call ``registry.counter(name, help)`` resolve (dict lookup +
+    label hashing).  The benchmark tracks the per-call cost; the
+    identity assertions fail if the handle cache regresses.
+    """
+    from repro.clustering import expected_waste
+    from repro.clustering import distance as distance_module
+    from repro.obs import get_registry
+
+    m, p = membership
+    a, b = m[0], m[1]
+    pa, pb = float(p[0]), float(p[1])
+
+    def hundred_calls():
+        for _ in range(100):
+            expected_waste(a, pa, b, pb)
+
+    benchmark(hundred_calls)
+
+    # the handle is bound once per registry, not re-resolved per call
+    handle = distance_module._eval_handle
+    assert handle is not None
+    expected_waste(a, pa, b, pb)
+    assert distance_module._eval_handle is handle
+    assert distance_module._eval_registry is get_registry()

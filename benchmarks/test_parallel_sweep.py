@@ -1,0 +1,145 @@
+"""Parallel sweep engine: byte-identity and wall-clock trajectory.
+
+Runs the same Figure-7-shaped cell plan serially and across a process
+pool, asserts the cost rows are byte-identical (the engine's contract —
+see ``docs/parallelism.md``), and records both wall clocks into
+``BENCH_sweep.json`` (uploaded as a CI artifact) so the speedup
+trajectory survives across PRs.
+
+The speedup *assertion* only arms on machines with at least four
+available cores; on smaller boxes the numbers are still recorded, and
+the pool overhead itself is bounded.  A second pass re-runs the parallel
+sweep with tracing enabled to extend the instrumentation-overhead guard
+to the worker merge path (spans and metric snapshots ride home through
+pickles there).
+"""
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import disable_tracing, enable_tracing, get_tracer
+from repro.sim import (
+    ExperimentContext,
+    build_evaluation_scenario,
+    plan_cells,
+    run_cells,
+)
+
+from conftest import print_banner
+
+BENCH_RECORD = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+N_CORES = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")
+    else (os.cpu_count() or 1)
+)
+WORKERS = 4
+
+
+def _comparable(outcomes):
+    return [
+        (
+            outcome.cell.index,
+            r.algorithm,
+            r.scheme,
+            r.n_groups,
+            r.n_cells,
+            tuple(sorted(r.summary.as_row().items())),
+        )
+        for outcome in outcomes
+        for r in outcome.results
+    ]
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+def test_parallel_sweep_identity_and_speedup(benchmark):
+    scenario = build_evaluation_scenario(modes=1, n_subscriptions=400, seed=0)
+    ctx = ExperimentContext(scenario, n_events=80)
+    cells = plan_cells(
+        (10, 20, 40, 60),
+        ("kmeans", "forgy", "pairs"),
+        cell_budgets={"kmeans": 1000, "forgy": 1000, "pairs": 600},
+    )
+    # warm the shared caches once so both passes measure cell execution,
+    # not the one-off cell-set build
+    run_cells(ctx, cells[:1], workers=1)
+
+    def timed(workers):
+        start = time.perf_counter()
+        outcomes = run_cells(ctx, cells, workers=workers)
+        return time.perf_counter() - start, outcomes
+
+    def run():
+        serial_s, serial = timed(1)
+        parallel_s, parallel = timed(WORKERS)
+        return serial_s, serial, parallel_s, parallel
+
+    serial_s, serial, parallel_s, parallel = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert _comparable(parallel) == _comparable(serial)
+
+    # instrumentation-overhead guard on the worker merge path: tracing
+    # ships every worker's spans home, and must stay near-free
+    enable_tracing(clear=True)
+    try:
+        start = time.perf_counter()
+        traced = run_cells(ctx, cells, workers=WORKERS)
+        traced_s = time.perf_counter() - start
+    finally:
+        disable_tracing()
+    assert _comparable(traced) == _comparable(serial)
+    assert get_tracer().spans(), "worker spans must merge into the parent"
+    traced_ratio = traced_s / parallel_s
+
+    speedup = serial_s / parallel_s
+    record = {
+        "benchmark": "parallel_sweep",
+        "n_cells": len(cells),
+        "workers": WORKERS,
+        "available_cores": N_CORES,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "traced_parallel_seconds": traced_s,
+        "speedup": speedup,
+        "traced_overhead_ratio": traced_ratio,
+        "per_cell_seconds": {
+            "serial": [o.seconds for o in serial],
+            "parallel": [o.seconds for o in parallel],
+        },
+        "byte_identical": True,
+    }
+    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_banner("Parallel sweep engine (BENCH_sweep.json)")
+    print(f"  cells            {len(cells)} (workers={WORKERS}, "
+          f"cores={N_CORES})")
+    print(f"  serial           {serial_s:8.2f} s")
+    print(f"  parallel         {parallel_s:8.2f} s  ({speedup:.2f}x)")
+    print(f"  parallel+trace   {traced_s:8.2f} s  "
+          f"({100 * (traced_ratio - 1):+.1f} %)")
+    print("  byte-identity    PASS")
+
+    if N_CORES >= 4:
+        assert speedup >= 2.5, (
+            f"{WORKERS}-worker sweep only {speedup:.2f}x faster than "
+            f"serial on {N_CORES} cores (budget: 2.5x)"
+        )
+    else:
+        # can't speed up without cores, but the pool must not implode:
+        # oversubscribed fan-out stays within 3x of the serial run
+        assert parallel_s < serial_s * 3.0, (
+            f"pool overhead blew up: {parallel_s:.2f}s parallel vs "
+            f"{serial_s:.2f}s serial on {N_CORES} core(s)"
+        )
+    assert traced_ratio < 1.25, (
+        f"tracing costs {100 * (traced_ratio - 1):.1f}% on the parallel "
+        f"merge path (budget: 25%)"
+    )

@@ -11,7 +11,12 @@ budgets) with span tracing enabled, then prints
 and optionally writes the full JSONL trace (run manifest + spans +
 metric samples) for offline analysis.
 
-Run with:  python examples/profiled_sweep.py [--trace sweep.jsonl]
+With ``--workers N`` the same cells fan across a process pool (see
+``docs/parallelism.md``); each worker's spans and counters are merged
+back into the parent, so the timing table and counters below stay
+complete — and the cost rows stay byte-identical to the serial run.
+
+Run with:  python examples/profiled_sweep.py [--workers N] [--trace sweep.jsonl]
 """
 
 import argparse
@@ -20,8 +25,12 @@ from repro.obs import disable_tracing, enable_tracing, get_registry, write_jsonl
 from repro.sim import (
     ExperimentContext,
     build_evaluation_scenario,
+    default_workers,
     format_results,
     phase_table,
+    plan_cells,
+    run_cells,
+    worker_table,
 )
 
 
@@ -30,6 +39,10 @@ def main():
     parser.add_argument(
         "--trace", metavar="PATH", help="also write the JSONL trace to PATH"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan cells across N worker processes (0 = all cores)",
+    )
     args = parser.parse_args()
 
     scenario = build_evaluation_scenario(modes=1, n_subscriptions=400, seed=0)
@@ -37,20 +50,25 @@ def main():
     registry = get_registry()
     registry.reset()
 
+    cells = plan_cells(
+        (10, 40),
+        ("kmeans", "pairs"),
+        schemes=("dense",),
+        cell_budgets={"kmeans": 600, "pairs": 600},
+    )
+    workers = default_workers(args.workers)
     tracer = enable_tracing(clear=True)
     try:
-        results = []
-        for name in ("kmeans", "pairs"):
-            for n_groups in (10, 40):
-                results.extend(
-                    ctx.run_grid_algorithm(
-                        name, n_groups, max_cells=600, schemes=("dense",)
-                    )
-                )
+        outcomes = run_cells(
+            ctx, cells, workers=workers, seed_mode="legacy"
+        )
     finally:
         disable_tracing()
+    results = [r for outcome in outcomes for r in outcome.results]
 
     print(format_results(results))
+    print()
+    print(worker_table(outcomes, title=f"Cells ({workers} worker(s))"))
     print()
     print(phase_table(tracer.spans(), title="Phase breakdown (fig7 sweep)"))
 

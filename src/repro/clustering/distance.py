@@ -55,17 +55,38 @@ def _intersections(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
     return rows.astype(np.float32) @ cols.astype(np.float32).T
 
 
+#: lazily bound counter child, keyed to the registry it came from so a
+#: worker installing a fresh process registry transparently rebinds
+_eval_handle = None
+_eval_registry = None
+
+
 def _count_evals(n: int) -> None:
     """Record ``n`` pairwise distance evaluations in the registry.
 
     Every vectorised kernel below funnels through this, so the counter
     is the single source of truth for "how much distance work did a
     clustering fit do" regardless of algorithm.
+
+    This sits inside the innermost distance loop of the scalar
+    :func:`expected_waste` path, so the bound counter child is cached at
+    module level instead of re-resolved through
+    ``registry.counter(name, help)`` (a dict lookup plus label hashing)
+    on every call.  ``MetricsRegistry.reset`` keeps children alive, so
+    the handle survives resets; swapping the process registry
+    (:func:`repro.obs.set_registry`) is detected by identity and rebinds.
     """
-    get_registry().counter(
-        "clustering_distance_evals_total",
-        "pairwise expected-waste distance evaluations",
-    ).inc(n)
+    global _eval_handle, _eval_registry
+    registry = get_registry()
+    handle = _eval_handle
+    if handle is None or _eval_registry is not registry:
+        handle = registry.counter(
+            "clustering_distance_evals_total",
+            "pairwise expected-waste distance evaluations",
+        ).labels()
+        _eval_handle = handle
+        _eval_registry = registry
+    handle.inc(n)
 
 
 def pairwise_waste_matrix(

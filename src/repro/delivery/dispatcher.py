@@ -25,6 +25,7 @@ coverage.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -50,6 +51,18 @@ SCHEMES = ("dense", "alm", "sparse")
 
 #: distinguishes concurrently live dispatchers in the shared registry
 _instance_ids = itertools.count()
+
+
+def _next_instance_id() -> str:
+    """A process-unique instance label for one dispatcher.
+
+    The counter alone is not fork-safe: child workers inherit its state,
+    so dispatchers constructed in sibling processes would collide on the
+    same label and their cache statistics would be indistinguishable
+    after a merge.  Salting with the pid keeps ids collision-free across
+    processes without any cross-process coordination.
+    """
+    return f"p{os.getpid()}.d{next(_instance_ids)}"
 
 
 class Dispatcher:
@@ -89,7 +102,10 @@ class Dispatcher:
         # registry-backed hit/miss accounting, one label set per live
         # dispatcher so concurrent instances don't mix their statistics;
         # counters are bound once here and incremented per lookup
-        registry = registry if registry is not None else get_registry()
+        self._bind_metrics(registry if registry is not None else get_registry())
+        routing.add_invalidation_listener(self._on_topology_change)
+
+    def _bind_metrics(self, registry: MetricsRegistry) -> None:
         lookups = registry.counter(
             "dispatcher_cache_lookups_total",
             "per-lookup hit/miss counts of the dispatcher memos",
@@ -102,7 +118,9 @@ class Dispatcher:
             "dispatcher_cache_entries_dropped_total",
             "memo entries dropped, by cause",
         )
-        instance = f"d{next(_instance_ids)}"
+        scheme = self.scheme
+        instance = _next_instance_id()
+        self._instance = instance
         self._cost_hits = lookups.labels(
             cache="group_cost", result="hit", scheme=scheme, instance=instance
         )
@@ -131,7 +149,17 @@ class Dispatcher:
             cache="group_nodes", reason="eviction", scheme=scheme,
             instance=instance,
         )
-        routing.add_invalidation_listener(self._on_topology_change)
+
+    def rebind_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Re-resolve the bound statistic counters (fresh instance id).
+
+        A forked worker that installs a fresh process registry
+        (:func:`repro.obs.reset_worker_state`) calls this on dispatchers
+        created before the fork: their handles still point at the
+        inherited copy of the parent's registry, so without rebinding the
+        worker's cache statistics would vanish from the merged totals.
+        """
+        self._bind_metrics(registry if registry is not None else get_registry())
 
     @property
     def core(self) -> int:

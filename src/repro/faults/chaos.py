@@ -55,6 +55,40 @@ class ChaosRunner:
         self._live_handles: List[int] = []
         self._join_rng = np.random.default_rng(seed + 2)
 
+    @classmethod
+    def from_params(
+        cls,
+        scenario_kwargs: Optional[dict] = None,
+        events: Optional[Sequence[dict]] = None,
+        horizon: float = 0.0,
+        config_kwargs: Optional[dict] = None,
+        n_events: int = 100,
+        seed: int = 0,
+    ) -> "ChaosRunner":
+        """Build a runner from plain, picklable parameters.
+
+        The parallel sweep engine ships these to worker processes
+        instead of live objects: a chaos replay mutates its scenario's
+        routing tables, so every worker must own a private scenario
+        rebuilt from the same seed.  ``scenario_kwargs`` goes to
+        :func:`repro.sim.build_preliminary_scenario`; ``events`` is the
+        schedule as :meth:`FaultSchedule.as_dicts` records (``None`` or
+        empty plus a horizon is the no-fault baseline).
+        """
+        from ..broker import BrokerConfig
+        from ..sim.scenario import build_preliminary_scenario
+        from .schedule import FaultEvent
+
+        scenario = build_preliminary_scenario(**dict(scenario_kwargs or {}))
+        schedule = FaultSchedule(
+            events=[FaultEvent.from_dict(dict(r)) for r in events or ()],
+            horizon=horizon or None,
+        )
+        config = BrokerConfig(**dict(config_kwargs or {}))
+        return cls(
+            scenario, schedule, config=config, n_events=n_events, seed=seed
+        )
+
     # ------------------------------------------------------------------
     def run(self) -> DegradationReport:
         """Replay the schedule; returns the degradation report."""

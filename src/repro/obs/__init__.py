@@ -49,6 +49,9 @@ __all__ = [
     "TRACER",
     "get_registry",
     "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "reset_worker_state",
     "enable_tracing",
     "disable_tracing",
 ]
@@ -69,6 +72,35 @@ def get_registry() -> MetricsRegistry:
 def get_tracer() -> Tracer:
     """The process-wide default tracer."""
     return TRACER
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide default."""
+    global REGISTRY
+    REGISTRY = registry
+    return registry
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide default."""
+    global TRACER
+    TRACER = tracer
+    return tracer
+
+
+def reset_worker_state(tracing: bool = False) -> None:
+    """Install a fresh registry and tracer (worker-process start hook).
+
+    A forked worker inherits copies of the parent's instruments and
+    recorded spans; if it kept recording into those, its end-of-task
+    snapshot would include everything the parent counted *before* the
+    fork and the parent would double-count it on merge.  Long-lived
+    objects that bound counter handles before the fork (dispatchers)
+    must re-resolve them afterwards — see
+    :meth:`repro.delivery.Dispatcher.rebind_metrics`.
+    """
+    set_registry(MetricsRegistry())
+    set_tracer(Tracer(enabled=tracing))
 
 
 def enable_tracing(clear: bool = True) -> Tracer:

@@ -9,6 +9,7 @@ measured the same thing.
 
 from __future__ import annotations
 
+import os
 import platform
 import sys
 import time
@@ -22,6 +23,9 @@ def _versions() -> Dict[str, str]:
     versions = {
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # parallel sweeps scale with the core count; record it so two
+        # BENCH_sweep records are only compared on comparable hardware
+        "cpu_count": str(os.cpu_count() or 1),
     }
     try:
         import numpy

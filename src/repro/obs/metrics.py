@@ -105,6 +105,10 @@ class _CounterChild:
         with self._lock:
             self._value += value
 
+    def merge(self, sample: Mapping) -> None:
+        """Fold another child's sample into this one (adds the count)."""
+        self.inc(float(sample.get("value", 0.0)))
+
     @property
     def value(self) -> float:
         return self._value
@@ -152,6 +156,11 @@ class _GaugeChild:
     def add(self, value: float) -> None:
         with self._lock:
             self._value += value
+
+    def merge(self, sample: Mapping) -> None:
+        """Fold another child's sample into this one (last write wins —
+        a gauge is a point-in-time reading, not an accumulation)."""
+        self.set(float(sample.get("value", 0.0)))
 
     @property
     def value(self) -> float:
@@ -219,6 +228,31 @@ class _HistogramChild:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def merge(self, sample: Mapping) -> None:
+        """Fold another child's sample into this one.
+
+        Count, sum and the per-bucket counts add; min/max widen.  Bucket
+        counts are matched by their ``le_*`` key, so only bounds both
+        sides share contribute detail (count and sum stay exact either
+        way).
+        """
+        count = int(sample.get("count", 0))
+        if count <= 0:
+            return
+        buckets = sample.get("buckets") or {}
+        with self._lock:
+            self.count += count
+            self.sum += float(sample.get("sum", 0.0))
+            low = sample.get("min")
+            if low is not None and float(low) < self.min:
+                self.min = float(low)
+            high = sample.get("max")
+            if high is not None and float(high) > self.max:
+                self.max = float(high)
+            for idx, bound in enumerate(self._bounds):
+                self._buckets[idx] += int(buckets.get(f"le_{bound:g}", 0))
+            self._buckets[-1] += int(buckets.get("le_inf", 0))
 
     def reset(self) -> None:
         with self._lock:
@@ -333,3 +367,41 @@ class MetricsRegistry:
         """Zero every instrument (registrations are kept)."""
         for instrument in self.instruments():
             instrument.reset()
+
+    def merge_records(self, records: Iterable[Mapping]) -> int:
+        """Fold snapshot records from another registry into this one.
+
+        ``records`` is what :meth:`snapshot` produced on the source
+        registry — typically a worker process's metrics shipped back to
+        the parent by the parallel sweep engine.  Counters and histograms
+        accumulate; gauges take the merged value (last write wins).
+        Instruments and labeled children are created on demand, so a
+        parent that never touched a metric still receives it.  Returns
+        the number of records merged.
+        """
+        merged = 0
+        for record in records:
+            name = record.get("name")
+            kind = record.get("type")
+            if not name:
+                continue
+            if kind == "counter":
+                instrument = self.counter(name)
+            elif kind == "gauge":
+                instrument = self.gauge(name)
+            elif kind == "histogram":
+                # recover the source's bucket bounds from the sample keys
+                # so a first-contact merge preserves the distribution
+                bounds = sorted(
+                    float(key[3:])
+                    for key in (record.get("buckets") or {})
+                    if key != "le_inf"
+                )
+                instrument = self.histogram(
+                    name, buckets=bounds or DEFAULT_BUCKETS
+                )
+            else:
+                continue
+            instrument.labels(**record.get("labels", {})).merge(record)
+            merged += 1
+        return merged

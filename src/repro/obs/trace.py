@@ -192,6 +192,42 @@ class Tracer:
             self._spans.append(span)
 
     # ------------------------------------------------------------------
+    def ingest(self, records: Iterable[Mapping]) -> List[Span]:
+        """Fold spans recorded by another tracer into this one.
+
+        ``records`` are :meth:`Span.as_dict` dictionaries — typically a
+        worker process's spans shipped back to the parent by the parallel
+        sweep engine.  Span ids are remapped through this tracer's own id
+        sequence so merged traces stay collision-free; parent links
+        *within* the batch are preserved (ids are assigned at open time,
+        so a parent always precedes its children when sorted by id) and
+        links to spans outside the batch become roots.  Works while the
+        tracer is disabled — merging is bookkeeping, not tracing.
+        """
+        ingested: List[Span] = []
+        remap: Dict[int, int] = {}
+        for record in sorted(records, key=lambda r: r.get("span_id", 0)):
+            new_id = next(self._ids)
+            old_id = record.get("span_id")
+            if old_id is not None:
+                remap[old_id] = new_id
+            span = Span(
+                name=str(record.get("name", "?")),
+                span_id=new_id,
+                parent_id=remap.get(record.get("parent_id")),
+                depth=int(record.get("depth", 0)),
+                thread=int(record.get("thread", 0)),
+                start_ns=int(record.get("start_ns", 0)),
+                attrs=dict(record.get("attrs") or {}),
+            )
+            duration = record.get("duration_ns")
+            span.duration_ns = None if duration is None else int(duration)
+            span.error = record.get("error")
+            ingested.append(span)
+        with self._lock:
+            self._spans.extend(ingested)
+        return ingested
+
     def spans(self) -> List[Span]:
         """Snapshot of the finished spans, in completion order."""
         with self._lock:

@@ -17,12 +17,25 @@ from .figures import (
     format_results,
 )
 from .metrics import CostSummary, improvement_percentage
+from .parallel import (
+    ChaosCell,
+    ChaosCellResult,
+    ContextFactory,
+    SweepCell,
+    SweepCellResult,
+    cell_seed,
+    default_workers,
+    plan_cells,
+    run_cells,
+    run_chaos_cells,
+)
 from .report import (
     ascii_chart,
     chart_improvement,
     phase_table,
     results_to_rows,
     rows_to_csv,
+    worker_table,
 )
 from .stats import SummaryStatistics, replicate, summarize
 from .scenario import (
@@ -53,11 +66,22 @@ __all__ = [
     "format_results",
     "CostSummary",
     "improvement_percentage",
+    "ChaosCell",
+    "ChaosCellResult",
+    "ContextFactory",
+    "SweepCell",
+    "SweepCellResult",
+    "cell_seed",
+    "default_workers",
+    "plan_cells",
+    "run_cells",
+    "run_chaos_cells",
     "ascii_chart",
     "chart_improvement",
     "phase_table",
     "results_to_rows",
     "rows_to_csv",
+    "worker_table",
     "SummaryStatistics",
     "replicate",
     "summarize",

@@ -6,6 +6,14 @@ Usage::
     python -m repro.sim.cli table2 [--events N] [--seed S]
     python -m repro.sim.cli fig7   [--modes {1,4,9}] [--groups 10,40,100] ...
     python -m repro.sim.cli fig8 | fig9 | fig10 | fig11
+    python -m repro.sim.cli sweep  [--workers N] [--algorithms ...] ...
+    python -m repro.sim.cli chaos  [--workers N] ...
+
+``sweep`` is the parallel sweep engine's front end: cells (one per
+algorithm × group count) fan across ``--workers`` processes with
+per-cell seeds spawned from the scenario seed, so results are
+byte-identical for any worker count (see ``docs/parallelism.md``).
+``fig7`` and ``chaos`` accept ``--workers`` too.
 
 Every sub-command prints the same rows/series the corresponding paper
 artefact reports.  Paper-scale runs are the defaults for algorithm
@@ -39,6 +47,7 @@ from ..obs import (
     write_jsonl,
 )
 from .figures import figure7, figure8, figure9, figure10, figure11, format_results
+from .parallel import default_workers
 from .report import chart_improvement, phase_table, results_to_rows, rows_to_csv
 from .tables import TABLE1_ROWS, TABLE2_ROWS, format_table, run_table
 
@@ -72,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the run and write a JSONL trace (manifest + spans "
         "+ metrics) to PATH",
     )
+    # worker-pool flag shared by the parallelisable sub-commands
+    pool = argparse.ArgumentParser(add_help=False)
+    pool.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan sweep cells across N worker processes "
+        "(1 = serial, 0 = all cores); results are byte-identical "
+        "for any worker count",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for table in ("table1", "table2"):
@@ -82,7 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
-        "fig7", help="improvement % vs number of groups", parents=[obs]
+        "fig7",
+        help="improvement % vs number of groups",
+        parents=[obs, pool],
     )
     p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
     p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
@@ -125,9 +147,38 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
+        "sweep",
+        help="parallel sweep over algorithm x group-count cells",
+        parents=[obs, pool],
+    )
+    p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
+    p.add_argument("--subs", type=int, default=1000,
+                   help="number of subscriptions in the scenario")
+    p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
+    p.add_argument(
+        "--algorithms",
+        default="kmeans,forgy,mst,pairs",
+        help="comma-separated algorithm names",
+    )
+    p.add_argument("--schemes", default="dense",
+                   help="comma-separated delivery schemes")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="hyper-cell budget for every algorithm "
+                   "(default: the paper's per-algorithm budgets)")
+    p.add_argument("--events", type=int, default=150)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--noloss", action="store_true",
+                   help="also run the No-Loss algorithm per group count")
+    p.add_argument("--csv", metavar="PATH", help="also export rows as CSV")
+    p.add_argument(
+        "--bench", metavar="PATH",
+        help="write a JSON wall-clock record (workers, per-cell seconds)",
+    )
+
+    p = sub.add_parser(
         "chaos",
         help="replay a fault schedule and report delivery degradation",
-        parents=[obs],
+        parents=[obs, pool],
     )
     p.add_argument("--nodes", type=int, default=100)
     p.add_argument("--subs", type=int, default=500)
@@ -251,6 +302,7 @@ def _run_command(args: argparse.Namespace) -> None:
             n_events=args.events,
             noloss=not args.no_noloss,
             seed=args.seed,
+            workers=default_workers(args.workers) if args.workers != 1 else 1,
         )
         print(format_results(results))
         if args.chart:
@@ -297,29 +349,98 @@ def _run_command(args: argparse.Namespace) -> None:
                 f"{row['algorithm']:>14} {row['n_cells']:>6} "
                 f"{row['improvement_pct']:>9.1f} {row['fit_seconds']:>8.3f}"
             )
+    elif args.command == "sweep":
+        _run_sweep(args)
     elif args.command == "chaos":
         _run_chaos(args)
 
 
+def _run_sweep(args: argparse.Namespace) -> None:
+    from .experiment import ExperimentContext
+    from .figures import PAPER_CELL_BUDGETS
+    from .parallel import ContextFactory, plan_cells, run_cells
+    from .report import worker_table
+    from .scenario import build_evaluation_scenario
+
+    algorithms = tuple(a for a in args.algorithms.split(",") if a)
+    schemes = tuple(s for s in args.schemes.split(",") if s)
+    if args.max_cells is not None:
+        budgets = {name: args.max_cells for name in algorithms}
+    else:
+        budgets = {
+            name: PAPER_CELL_BUDGETS.get(name) for name in algorithms
+        }
+    scenario_kwargs = dict(
+        modes=args.modes, n_subscriptions=args.subs, seed=args.seed
+    )
+    scenario = build_evaluation_scenario(**scenario_kwargs)
+    ctx = ExperimentContext(scenario, n_events=args.events)
+    factory = ContextFactory(
+        builder="evaluation",
+        kwargs=tuple(sorted(scenario_kwargs.items())),
+        n_events=args.events,
+    )
+    cells = plan_cells(
+        args.groups, algorithms, schemes=schemes,
+        cell_budgets=budgets, noloss=args.noloss,
+    )
+    workers = default_workers(args.workers)
+    start = time.perf_counter()
+    outcomes = run_cells(
+        ctx, cells, workers=workers, seed_mode="spawn",
+        context_factory=factory,
+    )
+    wall = time.perf_counter() - start
+    results = [r for outcome in outcomes for r in outcome.results]
+    print(format_results(results))
+    print()
+    print(worker_table(
+        outcomes,
+        title=f"Sweep cells ({workers} worker(s), {wall:.3f}s wall)",
+    ))
+    if args.csv:
+        rows_to_csv(results_to_rows(results), args.csv)
+        print(f"(rows written to {args.csv})")
+    if args.bench:
+        import json
+
+        record = {
+            "command": "sweep",
+            "workers": workers,
+            "wall_seconds": wall,
+            "n_cells": len(cells),
+            "cell_seconds": [
+                {"cell": o.cell.label(), "pid": o.pid, "seconds": o.seconds}
+                for o in outcomes
+            ],
+            "config": {
+                "modes": args.modes, "subs": args.subs,
+                "groups": args.groups, "algorithms": list(algorithms),
+                "schemes": list(schemes), "events": args.events,
+                "seed": args.seed, "noloss": args.noloss,
+            },
+        }
+        with open(args.bench, "w") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"(bench record written to {args.bench})")
+
+
 def _run_chaos(args: argparse.Namespace) -> None:
-    from ..broker import BrokerConfig
-    from ..faults import ChaosRunner, FaultSchedule
+    from ..faults import FaultSchedule
     from ..obs import RunManifest
+    from .parallel import ChaosCell, run_chaos_cells
     from .scenario import build_preliminary_scenario
 
-    def scenario():
-        return build_preliminary_scenario(
-            n_nodes=args.nodes,
-            n_subscriptions=args.subs,
-            seed=args.seed,
-        )
-
-    chaos_scenario = scenario()
+    scenario_kwargs = dict(
+        n_nodes=args.nodes,
+        n_subscriptions=args.subs,
+        seed=args.seed,
+    )
     if args.schedule:
         schedule = FaultSchedule.from_json(args.schedule)
     else:
         schedule = FaultSchedule.generate(
-            chaos_scenario.topology,
+            build_preliminary_scenario(**scenario_kwargs).topology,
             horizon=args.horizon,
             seed=args.seed,
             node_fraction=args.node_fail,
@@ -330,30 +451,48 @@ def _run_chaos(args: argparse.Namespace) -> None:
     if args.save_schedule:
         schedule.to_json(args.save_schedule)
         print(f"(schedule written to {args.save_schedule})")
-    config = BrokerConfig(
+    config_kwargs = dict(
         n_groups=args.groups,
         rebalance_after=10**9,  # rebuilds are schedule-driven here
         rebuild_debounce=args.debounce,
         rebuild_backoff_base=args.backoff,
         full_rebuild_fraction=args.full_rebuild_fraction,
     )
-    report = ChaosRunner(
-        chaos_scenario,
-        schedule,
-        config=config,
-        n_events=args.events,
-        seed=args.seed,
-    ).run()
-
-    baseline = None
-    if not args.no_baseline:
-        baseline = ChaosRunner(
-            scenario(),
-            FaultSchedule(horizon=schedule.horizon),
-            config=config,
+    # the faulted replay and its no-fault baseline are independent
+    # cells: each worker rebuilds the scenario from the same seed
+    # (replay mutates routing tables, so nothing is shared), and the
+    # serial path constructs through the identical code, so reports are
+    # byte-identical for any --workers value
+    cells = [
+        ChaosCell(
+            index=0,
+            label="faulted",
+            scenario_kwargs=tuple(sorted(scenario_kwargs.items())),
+            events=tuple(schedule.as_dicts()),
+            horizon=schedule.horizon,
+            config_kwargs=tuple(sorted(config_kwargs.items())),
             n_events=args.events,
             seed=args.seed,
-        ).run()
+        )
+    ]
+    if not args.no_baseline:
+        cells.append(
+            ChaosCell(
+                index=1,
+                label="baseline",
+                scenario_kwargs=tuple(sorted(scenario_kwargs.items())),
+                events=(),
+                horizon=schedule.horizon,
+                config_kwargs=tuple(sorted(config_kwargs.items())),
+                n_events=args.events,
+                seed=args.seed,
+            )
+        )
+    workers = default_workers(args.workers) if args.workers != 1 else 1
+    outcomes = run_chaos_cells(cells, workers=workers)
+    report = outcomes[0].report
+    baseline = outcomes[1].report if len(outcomes) > 1 else None
+    if baseline is not None:
         report.baseline_cost = baseline.total_cost
 
     print(report.format())

@@ -127,6 +127,19 @@ class ExperimentContext:
             scenario=self.scenario, argv=argv, n_events=self.n_events
         )
 
+    def rebind_observability(self) -> None:
+        """Re-bind per-instance metric handles to the live registry.
+
+        Called at worker start by the parallel sweep engine: after
+        :func:`repro.obs.reset_worker_state` installs a fresh process
+        registry, the dispatchers (whose cache-statistic counters were
+        bound at construction, before the fork) must re-resolve them or
+        the worker's cache stats would land in the inherited copy of the
+        parent's registry and never be merged back.
+        """
+        for dispatcher in self._dispatchers.values():
+            dispatcher.rebind_metrics()
+
     # ------------------------------------------------------------------
     def reference_costs(self, scheme: str) -> Tuple[float, float, float]:
         """Mean per-event (unicast, broadcast, ideal) costs (cached)."""

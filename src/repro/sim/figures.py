@@ -70,6 +70,7 @@ def figure7(
     noloss_iterations: int = 8,
     seed: int = 0,
     scenario: Optional[Scenario] = None,
+    workers: int = 1,
 ) -> List[AlgorithmResult]:
     """Improvement percentage vs number of multicast groups.
 
@@ -77,11 +78,29 @@ def figure7(
     is fed; the default is the paper's configuration
     (:data:`PAPER_CELL_BUDGETS`).  No-Loss runs with the paper's "5000
     rectangles kept after intersection and 8 iterations" by default.
+
+    ``workers > 1`` fans the cells across a process pool via
+    :mod:`repro.sim.parallel` in legacy-seed mode, so the rows are
+    byte-identical to the serial sweep in any case.
     """
     ctx = _context(modes, n_subscriptions, n_events, seed, scenario)
     budgets = dict(PAPER_CELL_BUDGETS)
     if cell_budgets:
         budgets.update(cell_budgets)
+    if workers and workers > 1:
+        from .parallel import plan_cells, run_cells
+
+        cells = plan_cells(
+            group_counts,
+            algorithms,
+            schemes=schemes,
+            cell_budgets=budgets,
+            noloss=noloss,
+            noloss_keep=noloss_keep,
+            noloss_iterations=noloss_iterations,
+        )
+        outcomes = run_cells(ctx, cells, workers=workers, seed_mode="legacy")
+        return [result for outcome in outcomes for result in outcome.results]
     results: List[AlgorithmResult] = []
     for k in group_counts:
         for name in algorithms:

@@ -20,6 +20,7 @@ __all__ = [
     "ascii_chart",
     "chart_improvement",
     "phase_table",
+    "worker_table",
 ]
 
 Point = Tuple[float, float]
@@ -132,6 +133,39 @@ def chart_improvement(
         x_label="multicast groups (K)",
         y_label="improvement %",
     )
+
+
+def worker_table(outcomes, title: str = "Sweep cells") -> str:
+    """Render parallel sweep outcomes as a per-cell execution table.
+
+    One row per :class:`~repro.sim.parallel.SweepCellResult` in plan
+    order: the cell, which worker process ran it and how long it took —
+    the at-a-glance view of how a sweep spread across the pool.
+    """
+    outcomes = list(outcomes)
+    if not outcomes:
+        return f"{title}: no cells"
+    labels = [outcome.cell.label() for outcome in outcomes]
+    width = max(len("cell"), max(len(label) for label in labels))
+    header = f"{'cell':<{width}} {'kind':>8} {'pid':>8} {'seconds':>9}"
+    lines = [title, header, "-" * len(header)]
+    for outcome, label in zip(outcomes, labels):
+        lines.append(
+            f"{label:<{width}} {outcome.cell.kind:>8} "
+            f"{outcome.pid:>8} {outcome.seconds:>9.3f}"
+        )
+    n_workers = len({outcome.pid for outcome in outcomes})
+    busiest = max(
+        (sum(o.seconds for o in outcomes if o.pid == pid)
+         for pid in {o.pid for o in outcomes}),
+        default=0.0,
+    )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{len(outcomes)} cells over {n_workers} worker(s); "
+        f"busiest worker {busiest:.3f}s"
+    )
+    return "\n".join(lines)
 
 
 def phase_table(spans, title: str = "Phase breakdown") -> str:

@@ -54,8 +54,16 @@ class ZipfLike:
         self.probabilities = weights / weights.sum()
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
-        """Draw rank(s) according to the Zipf-like weights."""
-        return rng.choice(self.n, size=size, p=self.probabilities)
+        """Draw rank(s) according to the Zipf-like weights.
+
+        Returns a plain ``int`` for ``size=None`` and an integer array
+        otherwise — the scalar path is normalised so callers don't have
+        to rely on implicit coercion of a 0-d numpy scalar.
+        """
+        ranks = rng.choice(self.n, size=size, p=self.probabilities)
+        if size is None:
+            return int(ranks)
+        return ranks
 
     def split(self, total: int, rng: np.random.Generator) -> np.ndarray:
         """Split ``total`` items over the ranks (multinomial draw)."""
@@ -90,11 +98,19 @@ class ParetoLength:
             raise ValueError("max_length must be at least the scale")
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
-        """Draw interval length(s), capped at ``max_length``."""
+        """Draw interval length(s), capped at ``max_length``.
+
+        Returns a plain ``float`` for ``size=None`` and a float array
+        otherwise — the scalar path is normalised so callers don't have
+        to rely on implicit coercion of a 0-d numpy scalar.
+        """
         u = rng.random(size) if size is not None else rng.random()
         u = np.maximum(u, 1e-12)  # guard the U=0 pole
         raw = self.scale * np.power(u, -1.0 / self.shape)
-        return np.minimum(raw, self.max_length)
+        capped = np.minimum(raw, self.max_length)
+        if size is None:
+            return float(capped)
+        return capped
 
     def truncated_mean(self) -> float:
         """Exact mean of the capped law (for tests and documentation).

@@ -138,3 +138,85 @@ class TestMain:
             assert total <= by_id[parent_id]["duration_ns"] * 1.01
         # metric samples ride along in the same file
         assert any(r["kind"] == "metric" for r in records)
+
+
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+        assert args.subs == 1000
+        assert args.algorithms == "kmeans,forgy,mst,pairs"
+        assert args.schemes == "dense"
+        assert args.noloss is False
+        assert args.max_cells is None
+
+    def test_workers_flag_on_parallel_commands(self):
+        for argv in (
+            ["sweep", "--workers", "4"],
+            ["fig7", "--workers", "4"],
+            ["chaos", "--workers", "4"],
+        ):
+            assert build_parser().parse_args(argv).workers == 4
+
+    def test_smoke_serial(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        assert (
+            main(
+                [
+                    "sweep", "--subs", "120", "--events", "15",
+                    "--groups", "4", "--algorithms", "kmeans",
+                    "--max-cells", "60", "--csv", str(csv_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kmeans" in out
+        assert "1 worker(s)" in out
+        assert csv_path.exists()
+
+    def test_smoke_parallel_matches_serial(self, capsys, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        argv = [
+            "sweep", "--subs", "120", "--events", "15",
+            "--groups", "4,8", "--algorithms", "kmeans,pairs",
+            "--max-cells", "60",
+        ]
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        bench_path = tmp_path / "bench.json"
+        assert main(argv + ["--csv", str(serial_csv)]) == 0
+        assert (
+            main(
+                argv
+                + [
+                    "--workers", "2",
+                    "--csv", str(parallel_csv),
+                    "--bench", str(bench_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        import csv as csv_module
+
+        serial_rows = list(csv_module.DictReader(serial_csv.open()))
+        parallel_rows = list(csv_module.DictReader(parallel_csv.open()))
+        assert len(serial_rows) == len(parallel_rows) == 4
+        for a, b in zip(serial_rows, parallel_rows):
+            for key in a:
+                if key == "fit_seconds":
+                    continue
+                assert a[key] == b[key], key
+
+        import json
+
+        record = json.loads(bench_path.read_text())
+        assert record["workers"] == 2
+        assert record["n_cells"] == 4
+        assert len(record["cell_seconds"]) == 4
+        assert record["wall_seconds"] > 0

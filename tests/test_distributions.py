@@ -226,3 +226,41 @@ class TestIntervalDistribution:
             self.make(q0=0.5, q1=0.4, q2=0.3)
         with pytest.raises(ValueError):
             self.make(q0=-0.1)
+
+
+class TestScalarSampleTypes:
+    """``size=None`` draws are plain Python scalars, not 0-d arrays.
+
+    0-d numpy scalars silently type-pollute downstream records (JSON
+    export, dataclass fields); the API contract is: no ``size`` → native
+    ``int``/``float``, explicit ``size`` → ndarray.
+    """
+
+    def test_zipf_scalar_is_int(self, rng):
+        value = ZipfLike(6, 1.0).sample(rng)
+        assert type(value) is int
+        assert 0 <= value < 6
+
+    def test_pareto_scalar_is_float(self, rng):
+        value = ParetoLength(scale=4.0).sample(rng)
+        assert type(value) is float
+        assert value >= 4.0
+
+    def test_sized_draws_stay_arrays(self, rng):
+        ranks = ZipfLike(6, 1.0).sample(rng, size=5)
+        lengths = ParetoLength(scale=4.0).sample(rng, size=5)
+        assert isinstance(ranks, np.ndarray) and ranks.shape == (5,)
+        assert isinstance(lengths, np.ndarray) and lengths.shape == (5,)
+
+    def test_size_one_is_still_an_array(self, rng):
+        assert ZipfLike(3).sample(rng, size=1).shape == (1,)
+        assert ParetoLength(scale=2.0).sample(rng, size=1).shape == (1,)
+
+    def test_scalar_draws_are_json_serialisable(self, rng):
+        import json
+
+        payload = {
+            "rank": ZipfLike(6, 1.0).sample(rng),
+            "length": ParetoLength(scale=4.0).sample(rng),
+        }
+        assert json.loads(json.dumps(payload)) == payload

@@ -268,3 +268,117 @@ class TestManifestAndExport:
         counter = next(m for m in metrics if m["name"] == "events_total")
         assert counter["labels"] == {"matcher": "grid"}
         assert counter["value"] == 3
+
+
+class TestWorkerMerge:
+    """merge_records / Tracer.ingest: how worker snapshots come home."""
+
+    def test_counters_add_per_label(self):
+        source = MetricsRegistry()
+        source.counter("events_total").inc(3, matcher="grid")
+        source.counter("events_total").inc(2, matcher="no-loss")
+        target = MetricsRegistry()
+        target.counter("events_total").inc(10, matcher="grid")
+        assert target.merge_records(source.snapshot()) == 2
+        counter = target.get("events_total")
+        assert counter.labels(matcher="grid").value == 13
+        assert counter.labels(matcher="no-loss").value == 2
+
+    def test_merge_creates_missing_instruments(self):
+        source = MetricsRegistry()
+        source.counter("only_in_worker_total").inc(4)
+        source.gauge("worker_population").set(9, kind="cells")
+        target = MetricsRegistry()
+        target.merge_records(source.snapshot())
+        assert target.get("only_in_worker_total").value == 4
+        assert target.get("worker_population").labels(kind="cells").value == 9
+
+    def test_gauge_merge_is_last_write_wins(self):
+        target = MetricsRegistry()
+        target.gauge("level").set(5)
+        source = MetricsRegistry()
+        source.gauge("level").set(2)
+        target.merge_records(source.snapshot())
+        assert target.get("level").labels().value == 2
+
+    def test_histogram_merge_preserves_distribution(self):
+        source = MetricsRegistry()
+        for value in (0.0005, 0.02, 120.0):
+            source.histogram("latency_seconds").labels().observe(value)
+        target = MetricsRegistry()
+        target.histogram("latency_seconds").labels().observe(0.02)
+        target.merge_records(source.snapshot())
+        sample = target.get("latency_seconds").labels().sample()
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(0.0005 + 0.02 + 0.02 + 120.0)
+        assert sample["min"] == pytest.approx(0.0005)
+        assert sample["max"] == pytest.approx(120.0)
+        assert sample["buckets"]["le_inf"] == 1
+        assert sum(sample["buckets"].values()) == 4
+
+    def test_histogram_first_contact_recovers_bounds(self):
+        source = MetricsRegistry()
+        source.histogram("sizes", buckets=(1.0, 10.0)).labels().observe(3.0)
+        target = MetricsRegistry()
+        target.merge_records(source.snapshot())
+        sample = target.get("sizes").labels().sample()
+        assert set(sample["buckets"]) == {"le_1", "le_10", "le_inf"}
+        assert sample["buckets"]["le_10"] == 1
+
+    def test_merge_skips_malformed_records(self):
+        target = MetricsRegistry()
+        merged = target.merge_records(
+            [{"type": "counter"}, {"name": "x", "type": "exotic"}]
+        )
+        assert merged == 0
+        assert target.snapshot() == []
+
+    def test_merge_is_deterministic_in_plan_order(self):
+        snapshots = []
+        for value in (1, 2, 4):
+            registry = MetricsRegistry()
+            registry.counter("c_total").inc(value)
+            snapshots.append(registry.snapshot())
+        target = MetricsRegistry()
+        for snapshot in snapshots:
+            target.merge_records(snapshot)
+        assert target.get("c_total").value == 7
+
+    def test_ingest_remaps_span_ids(self):
+        worker = Tracer(enabled=True)
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        records = [span.as_dict() for span in worker.spans()]
+
+        parent = Tracer(enabled=True)
+        with parent.span("local"):
+            pass
+        ingested = parent.ingest(records)
+        assert len(ingested) == 2
+        ids = [span.span_id for span in parent.spans()]
+        assert len(ids) == len(set(ids))
+        by_name = {span.name: span for span in parent.spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].duration_ns <= by_name["outer"].duration_ns
+
+    def test_ingest_works_while_disabled(self):
+        worker = Tracer(enabled=True)
+        with worker.span("cell"):
+            pass
+        parent = Tracer(enabled=False)
+        parent.ingest([span.as_dict() for span in worker.spans()])
+        assert [span.name for span in parent.spans()] == ["cell"]
+
+    def test_ingested_spans_aggregate_with_local_ones(self):
+        worker = Tracer(enabled=True)
+        with worker.span("phase"):
+            pass
+        parent = Tracer(enabled=True)
+        with parent.span("phase"):
+            pass
+        parent.ingest([span.as_dict() for span in worker.spans()])
+        rows = aggregate_spans(parent.spans())
+        assert rows[0]["name"] == "phase"
+        assert rows[0]["calls"] == 2
