@@ -13,6 +13,7 @@ routing; the network below it only forwards.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -22,7 +23,7 @@ import numpy as np
 from ..clustering import ForgyKMeansClustering, KMeansClustering
 from ..delivery import AdaptiveDeliveryPolicy, Dispatcher
 from ..geometry import EventSpace, Rectangle
-from ..grid import CellSet, build_cell_set
+from ..grid import CellSet, build_cell_set, cell_set_from_membership
 from ..matching import DeliveryPlan, GridMatcher
 from ..network import RoutingTables, unicast_cost
 from ..obs import get_tracer
@@ -70,6 +71,14 @@ class BrokerConfig:
     #: population) beyond which the rebuild re-clusters cold instead of
     #: warm-starting from the stale grouping
     full_rebuild_fraction: float = 0.3
+    #: waste-inflation ratio (reported via :meth:`ContentBroker.note_drift`
+    #: by the online maintainer) that makes a rebuild due regardless of
+    #: the debounce; ``None`` disables the drift trigger
+    drift_threshold: Optional[float] = None
+    #: maintain a persistent dense (n_cells × n_subscriptions) membership
+    #: matrix across churn so rebuilds skip the per-subscription
+    #: rasterisation pass; costs ``n_cells`` bytes per live subscription
+    delta_cells: bool = True
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("forgy", "kmeans"):
@@ -82,6 +91,11 @@ class BrokerConfig:
             raise ValueError("broadcast_penalty must be at least 1")
         if not 0.0 <= self.full_rebuild_fraction <= 1.0:
             raise ValueError("full_rebuild_fraction must be in [0, 1]")
+        if self.drift_threshold is not None and not (
+            math.isfinite(self.drift_threshold)
+            and self.drift_threshold >= 1.0
+        ):
+            raise ValueError("drift_threshold must be finite and >= 1")
 
 
 @dataclass(frozen=True)
@@ -136,7 +150,15 @@ class ContentBroker:
             backoff_base=self.config.rebuild_backoff_base,
             backoff_factor=self.config.rebuild_backoff_factor,
             backoff_max=self.config.rebuild_backoff_max,
+            drift_threshold=self.config.drift_threshold,
         )
+        # persistent cell-membership cache (delta_cells): column `slot`
+        # of the buffer is the rasterised footprint of one live handle
+        self._slot_of: Dict[int, int] = {}
+        self._cells_of: Dict[int, np.ndarray] = {}
+        self._free_slots: List[int] = []
+        self._n_slots = 0
+        self._cell_buf: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # subscription management
@@ -151,6 +173,8 @@ class ContentBroker:
         self._next_id += 1
         self._active[handle] = (node, rectangle)
         self._pending_changes += 1
+        if self.config.delta_cells:
+            self._track_cells(handle, rectangle)
         return handle
 
     def unsubscribe(self, handle: int) -> None:
@@ -160,6 +184,54 @@ class ContentBroker:
         except KeyError:
             raise KeyError(f"unknown subscription handle {handle}") from None
         self._pending_changes += 1
+        self._untrack_cells(handle)
+
+    # ------------------------------------------------------------------
+    # persistent cell-membership cache (the delta rebuild path)
+    # ------------------------------------------------------------------
+    def _track_cells(self, handle: int, rectangle: Rectangle) -> None:
+        """Rasterise one subscription into its own buffer column."""
+        covered = self.space.cells_in_rectangle(rectangle)
+        slot = self._free_slots.pop() if self._free_slots else self._n_slots
+        if slot == self._n_slots:
+            self._n_slots += 1
+        buf = self._cell_buf
+        if buf is None or buf.shape[1] < self._n_slots:
+            capacity = max(64, 2 * self._n_slots)
+            grown = np.zeros((self.space.n_cells, capacity), dtype=bool)
+            if buf is not None:
+                grown[:, : buf.shape[1]] = buf
+            self._cell_buf = buf = grown
+        buf[covered, slot] = True
+        self._slot_of[handle] = slot
+        self._cells_of[handle] = covered
+
+    def _untrack_cells(self, handle: int) -> None:
+        slot = self._slot_of.pop(handle, None)
+        if slot is None:
+            return
+        self._cell_buf[self._cells_of.pop(handle), slot] = False
+        self._free_slots.append(slot)
+
+    def _build_cells(self, subs: SubscriptionSet) -> CellSet:
+        """Hyper-cells for a rebuild: the delta path gathers the cached
+        columns of the live handles (the grid and space are unchanged,
+        only membership moved), skipping the rasterisation pass of
+        :func:`build_cell_set`; the cold path rebuilds from scratch."""
+        if self.config.delta_cells and self._cell_buf is not None:
+            slots = [self._slot_of[h] for h in self._external_of]
+            membership = self._cell_buf[:, slots]
+            with get_tracer().span(
+                "broker.delta_cells", n_subscriptions=len(slots)
+            ):
+                return cell_set_from_membership(
+                    self.space, membership, self.cell_pmf,
+                    max_cells=self.config.max_cells,
+                )
+        return build_cell_set(
+            self.space, subs, self.cell_pmf,
+            max_cells=self.config.max_cells,
+        )
 
     @property
     def n_subscriptions(self) -> int:
@@ -169,6 +241,73 @@ class ContentBroker:
     def n_groups(self) -> int:
         """Multicast groups currently maintained (0 before first build)."""
         return self._clustering.n_groups if self._clustering is not None else 0
+
+    @property
+    def clustering(self):
+        """The live grouping (None before the first build)."""
+        return self._clustering
+
+    @property
+    def live_subscriptions(self) -> Optional[SubscriptionSet]:
+        """The live subscription set backing the matcher/dispatcher."""
+        return self._subscriptions
+
+    def internal_id(self, handle: int) -> int:
+        """Internal subscriber id of an attached handle."""
+        return self._internal_of[handle]
+
+    def subscription(self, handle: int) -> Tuple[int, Rectangle]:
+        """(node, rectangle) of a registered handle."""
+        return self._active[handle]
+
+    def handles(self) -> List[int]:
+        """Sorted handles of all registered subscriptions."""
+        return sorted(self._active)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (the online runtime's entry points)
+    # ------------------------------------------------------------------
+    def attach(self, handle: int) -> int:
+        """Splice a freshly subscribed handle into the live runtime.
+
+        Returns the internal subscriber id.  The subscription starts
+        receiving events immediately (the matcher's unicast top-up
+        guarantees completeness) but belongs to no multicast group until
+        :meth:`apply_join` places it — exactly the join protocol of a
+        multicast substrate.  No refit happens.
+        """
+        if self._subscriptions is None:
+            raise RuntimeError("no live runtime; rebuild() first")
+        existing = self._internal_of.get(handle)
+        if existing is not None:
+            return existing
+        node, rectangle = self._active[handle]
+        internal = self._subscriptions.add(node, rectangle)
+        self._internal_of[handle] = internal
+        self._external_of.append(handle)
+        if self._clustering is not None:
+            self._clustering.ensure_subscribers(internal + 1)
+        return internal
+
+    def apply_join(self, handle: int, group: int) -> None:
+        """Add an attached handle to one multicast group in place."""
+        if self._clustering is None:
+            raise RuntimeError("no live grouping; rebuild() first")
+        self._clustering.add_member(group, self._internal_of[handle])
+
+    def apply_leave(self, handle: int) -> int:
+        """Detach a handle from the live runtime (groups + interest).
+
+        Returns the internal subscriber id that was retired.  Call
+        :meth:`unsubscribe` separately to drop the registration itself.
+        """
+        if self._subscriptions is None:
+            raise RuntimeError("no live runtime; rebuild() first")
+        internal = self._internal_of[handle]
+        if self._clustering is not None:
+            self._clustering.remove_member(internal)
+        self._subscriptions.deactivate(internal)
+        return internal
 
     # ------------------------------------------------------------------
     # clustering lifecycle
@@ -181,6 +320,10 @@ class ContentBroker:
         feeds both the debounce and the full-vs-incremental decision.
         """
         self._scheduler.note_change(now, weight)
+
+    def note_drift(self, now: float, inflation: float) -> None:
+        """Report the live waste-inflation ratio (online maintainer)."""
+        self._scheduler.note_drift(now, inflation)
 
     def tick(self, now: float) -> bool:
         """Rebuild if the debounced, backed-off policy says it is due.
@@ -235,10 +378,7 @@ class ContentBroker:
                     Subscription(self._internal_of[ext], node, rectangle)
                 )
             subs = SubscriptionSet(self.space, subscriptions)
-            cells = build_cell_set(
-                self.space, subs, self.cell_pmf,
-                max_cells=self.config.max_cells,
-            )
+            cells = self._build_cells(subs)
             algorithm = self._make_algorithm(
                 None if full else old_clustering, cells
             )
@@ -380,7 +520,7 @@ class ContentBroker:
             mode = decision.mode
             used_multicast = mode == "multicast"
             if mode == "broadcast":
-                wasted = self._subscriptions.n_subscribers - len(
+                wasted = self._subscriptions.n_active_subscribers - len(
                     plan.interested
                 )
             elif mode == "unicast":

@@ -65,6 +65,7 @@ class Clustering:
         self.group_membership = membership
         self.group_probs = probs
         self._member_lists: Optional[List[np.ndarray]] = None
+        self._version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -89,6 +90,71 @@ class Clustering:
                 for g in range(self.n_groups)
             ]
         return self._member_lists
+
+    # ------------------------------------------------------------------
+    # incremental membership maintenance (the online runtime's hooks)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Bumped on every incremental membership mutation.
+
+        Consumers that cache derived state (the grid matcher's member
+        lists and group sizes) compare against this to refresh lazily.
+        """
+        return self._version
+
+    def ensure_subscribers(self, n_subscribers: int) -> None:
+        """Grow the membership matrix to cover ``n_subscribers`` columns.
+
+        New columns are all-False: a freshly joined subscriber belongs to
+        no group until :meth:`add_member` places it.  Growth doubles the
+        column capacity so a stream of joins costs amortised O(1) copies.
+        """
+        current = self.group_membership.shape[1]
+        if n_subscribers <= current:
+            return
+        buf = getattr(self, "_membership_buf", None)
+        if buf is None or buf.shape[1] < n_subscribers:
+            capacity = max(n_subscribers, 2 * current)
+            buf = np.zeros(
+                (self.group_membership.shape[0], capacity), dtype=bool
+            )
+            buf[:, :current] = self.group_membership
+            self._membership_buf = buf
+        self.group_membership = buf[:, :n_subscribers]
+        self._member_lists = None
+        self._version += 1
+
+    def add_member(self, group: int, subscriber: int) -> None:
+        """Incrementally add a subscriber to one multicast group.
+
+        This is the online join hook: the cell structure (``cells``,
+        ``assignment``) is left untouched — only the group's membership
+        vector gains the subscriber, exactly as a multicast substrate
+        would process a group join.  ``total_expected_waste`` goes stale
+        after incremental mutations; the online maintainer tracks the
+        live waste instead.
+        """
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range")
+        self.ensure_subscribers(subscriber + 1)
+        self.group_membership[group, subscriber] = True
+        self._member_lists = None
+        self._version += 1
+
+    def remove_member(self, subscriber: int) -> None:
+        """Incrementally drop a subscriber from every multicast group."""
+        if not 0 <= subscriber < self.group_membership.shape[1]:
+            return
+        self.group_membership[:, subscriber] = False
+        self._member_lists = None
+        self._version += 1
+
+    def groups_of_subscriber(self, subscriber: int) -> np.ndarray:
+        """Multicast groups whose membership vector includes a subscriber."""
+        if not 0 <= subscriber < self.group_membership.shape[1]:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(self.group_membership[:, subscriber])[0]
 
     def group_of_grid_cell(self, flat_cell: int) -> int:
         """Multicast group of a flat grid cell (-1 when unassigned)."""

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..matching import DeliveryPlan
+from ..obs import get_registry
 from .dispatcher import Dispatcher
 
 __all__ = ["AdaptiveDecision", "AdaptiveDeliveryPolicy"]
@@ -34,6 +35,16 @@ class AdaptiveDecision:
     @property
     def savings_vs_unicast(self) -> float:
         return self.candidate_costs["unicast"] - self.cost
+
+    @property
+    def realized_gap(self) -> float:
+        """Cost the fixed policy (execute the matcher's plan) would have
+        paid beyond the adaptive choice.  Zero when the plan was already
+        the cheapest mode."""
+        realized = self.candidate_costs.get(
+            "multicast", self.candidate_costs["unicast"]
+        )
+        return realized - self.cost
 
 
 class AdaptiveDeliveryPolicy:
@@ -59,6 +70,21 @@ class AdaptiveDeliveryPolicy:
             "multicast": 0,
             "broadcast": 0,
         }
+        # instruments bound once: decide() sits on the per-event hot path
+        registry = get_registry()
+        counter = registry.counter(
+            "delivery_mode_total", "adaptive per-event mode decisions"
+        )
+        self._mode_children = {
+            mode: counter.labels(mode=mode) for mode in self.mode_counts
+        }
+        self._gap_hist = registry.histogram(
+            "delivery_mode_cost_gap",
+            "cost the matcher's fixed plan would have paid beyond the "
+            "adaptive choice",
+            buckets=(0.0, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0,
+                     5000.0),
+        ).labels()
 
     # ------------------------------------------------------------------
     def decide(self, publisher: int, plan: DeliveryPlan) -> AdaptiveDecision:
@@ -78,11 +104,14 @@ class AdaptiveDeliveryPolicy:
             )
         mode = min(candidates, key=candidates.get)
         self.mode_counts[mode] += 1
-        return AdaptiveDecision(
+        decision = AdaptiveDecision(
             mode=mode,
             cost=candidates[mode],
             candidate_costs=candidates,
         )
+        self._mode_children[mode].inc()
+        self._gap_hist.observe(decision.realized_gap)
+        return decision
 
     # ------------------------------------------------------------------
     def mode_rates(self) -> Dict[str, float]:

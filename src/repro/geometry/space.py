@@ -197,6 +197,25 @@ class EventSpace:
             for coords in _product(ranges)
         )
 
+    def cells_in_rectangle(self, rectangle: Rectangle) -> np.ndarray:
+        """Flat indices of all cells a rectangle overlaps, vectorised.
+
+        The block of covered cells is the outer sum of the per-dimension
+        stride offsets, built dimension by dimension — no python-level
+        product loop.  A rectangle that misses the grid entirely in some
+        dimension covers no cells (empty array), matching the "matches
+        nothing" convention of the membership-matrix builder.
+        """
+        try:
+            slices = self.cell_slices(rectangle)
+        except ValueError:
+            return np.empty(0, dtype=np.int64)
+        flat = np.zeros(1, dtype=np.int64)
+        for s, stride in zip(slices, self._strides):
+            offsets = np.arange(s.start, s.stop, dtype=np.int64) * int(stride)
+            flat = (flat[:, None] + offsets[None, :]).reshape(-1)
+        return flat
+
     def clip_point(self, point: Sequence[float]) -> Tuple[int, ...]:
         """Round/clip a continuous point onto the lattice."""
         return tuple(

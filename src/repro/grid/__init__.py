@@ -1,6 +1,16 @@
 """Grid-based clustering framework preprocessing (section 4.1): membership
 matrices, hyper-cell merging and popularity-based cell selection."""
 
-from .cells import CellSet, build_cell_set, build_membership_matrix
+from .cells import (
+    CellSet,
+    build_cell_set,
+    build_membership_matrix,
+    cell_set_from_membership,
+)
 
-__all__ = ["CellSet", "build_cell_set", "build_membership_matrix"]
+__all__ = [
+    "CellSet",
+    "build_cell_set",
+    "build_membership_matrix",
+    "cell_set_from_membership",
+]

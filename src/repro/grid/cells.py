@@ -21,7 +21,12 @@ from ..geometry import EventSpace
 from ..obs import get_tracer
 from ..workload import SubscriptionSet
 
-__all__ = ["CellSet", "build_membership_matrix", "build_cell_set"]
+__all__ = [
+    "CellSet",
+    "build_membership_matrix",
+    "build_cell_set",
+    "cell_set_from_membership",
+]
 
 
 def build_membership_matrix(
@@ -171,7 +176,26 @@ def _build_cell_set(
     max_cells: Optional[int],
 ) -> CellSet:
     membership = build_membership_matrix(space, subscriptions)
+    return cell_set_from_membership(space, membership, cell_pmf, max_cells)
 
+
+def cell_set_from_membership(
+    space: EventSpace,
+    membership: np.ndarray,
+    cell_pmf: np.ndarray,
+    max_cells: Optional[int] = None,
+) -> CellSet:
+    """Steps 2-4 of :func:`build_cell_set` on a prebuilt membership matrix.
+
+    This is the delta-update entry point of the online runtime: a caller
+    that maintains the dense ``(n_cells, n_subscribers)`` matrix
+    incrementally across subscription churn (one column flip per
+    join/leave) re-derives hyper-cells from it directly, skipping the
+    per-subscription rasterisation pass of
+    :func:`build_membership_matrix`.
+    """
+    if membership.shape[0] != space.n_cells:
+        raise ValueError("membership must have one row per grid cell")
     nonempty = np.nonzero(membership.any(axis=1))[0]
     if len(nonempty) == 0:
         raise ValueError("no grid cell is covered by any subscription")

@@ -173,12 +173,24 @@ class GridMatcher:
         self.subscriptions = subscriptions
         self.threshold = threshold
         self._space = subscriptions.space
+        self._version = clustering.version
         self._group_members = clustering.group_member_lists()
         self._group_sizes = np.array(
             [len(m) for m in self._group_members], dtype=np.int64
         )
 
+    def _refresh(self) -> None:
+        """Re-derive cached group state after incremental membership
+        churn (online joins/leaves mutate the clustering in place)."""
+        if self.clustering.version != self._version:
+            self._group_members = self.clustering.group_member_lists()
+            self._group_sizes = np.array(
+                [len(m) for m in self._group_members], dtype=np.int64
+            )
+            self._version = self.clustering.version
+
     def match(self, point: Sequence[float]) -> DeliveryPlan:
+        self._refresh()
         interested = self.subscriptions.interested_subscribers(point)
         cell = self._space.locate(point)
         group = self.clustering.group_of_grid_cell(cell) if cell >= 0 else -1
@@ -208,6 +220,7 @@ class GridMatcher:
         with get_tracer().span(
             "matching.match_batch", matcher="grid", n_events=len(points)
         ) as span:
+            self._refresh()
             if interested is None:
                 interested = self.subscriptions.batch_interested_subscribers(
                     points

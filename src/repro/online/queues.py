@@ -1,0 +1,210 @@
+"""Bounded admission queues with backpressure for the broker service.
+
+The online service consumes interleaved event streams (churn,
+publications, faults) through one bounded queue per stream.  Admission
+control happens on the *virtual* clock, so a seeded run is exactly
+reproducible:
+
+* **rate limit** — a token bucket per queue; events arriving faster than
+  the configured rate are shed (or, under the ``block`` policy, delayed
+  to the next token).
+* **capacity** — a full queue applies its backpressure policy:
+  ``block`` stalls the producer until the consumer frees a slot,
+  ``shed-oldest`` evicts the head (favouring fresh events),
+  ``shed-lowest-priority`` evicts the lowest-priority entry (oldest
+  among ties) and refuses the arrival itself when nothing queued is
+  lower.
+
+Depth gauges and shed counters go to :mod:`repro.obs` labelled by queue
+name, so a soak run's registry dump shows where pressure built up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..obs import get_registry
+
+__all__ = ["QueueConfig", "BoundedQueue", "POLICIES"]
+
+POLICIES = ("block", "shed-oldest", "shed-lowest-priority")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Admission parameters of one stream queue.
+
+    ``rate`` is the sustained admission rate in events per virtual
+    second (``None`` disables the token bucket); ``burst`` is the bucket
+    depth (defaults to the queue capacity).
+    """
+
+    capacity: int = 256
+    policy: str = "block"
+    rate: Optional[float] = None
+    burst: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+        if self.rate is not None and not (
+            math.isfinite(self.rate) and self.rate > 0
+        ):
+            raise ValueError("rate must be a positive finite rate or None")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError("burst must be at least 1 or None")
+
+
+class BoundedQueue:
+    """One stream's bounded, rate-limited admission queue.
+
+    Entries are ``(admit_time, priority, seq, item)``; the service pops
+    them in admission order.  All timing is virtual — the queue never
+    sleeps, it *computes* when a blocked producer would get through.
+    """
+
+    def __init__(self, name: str, config: Optional[QueueConfig] = None):
+        self.name = name
+        self.config = config or QueueConfig()
+        self._items: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        cfg = self.config
+        self._tokens = float(cfg.burst or cfg.capacity)
+        self._bucket = float(cfg.burst or cfg.capacity)
+        self._last_refill = 0.0
+        registry = get_registry()
+        self._depth_gauge = registry.gauge(
+            "online_queue_depth", "entries awaiting service per queue"
+        ).labels(queue=name)
+        self._admitted = registry.counter(
+            "online_queue_admitted_total", "events admitted per queue"
+        ).labels(queue=name)
+        self._shed = registry.counter(
+            "online_queue_shed_total", "events shed per queue and reason"
+        )
+        self._depth_peak = 0
+        #: admitted entries later evicted by a shed policy — the service
+        #: folds these into its per-stream shed accounting
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth_peak(self) -> int:
+        """Deepest the queue has been since construction."""
+        return self._depth_peak
+
+    def _refill(self, now: float) -> None:
+        if self.config.rate is None:
+            return
+        if now > self._last_refill:
+            self._tokens = min(
+                self._bucket,
+                self._tokens + (now - self._last_refill) * self.config.rate,
+            )
+            self._last_refill = now
+
+    def _take_token(self, now: float) -> Optional[float]:
+        """Consume one token; returns the delay until one exists.
+
+        ``None`` means a token was consumed immediately; a positive
+        float is the virtual wait the ``block`` policy would impose.
+        """
+        if self.config.rate is None:
+            return None
+        self._refill(now)
+        if self._tokens >= 1.0 - 1e-9:
+            self._tokens = max(0.0, self._tokens - 1.0)
+            return None
+        return (1.0 - self._tokens) / self.config.rate
+
+    # ------------------------------------------------------------------
+    def offer(
+        self, item: Any, now: float, priority: int = 0
+    ) -> Tuple[bool, float]:
+        """Try to admit ``item`` at virtual time ``now``.
+
+        Returns ``(admitted, effective_time)``.  A shed arrival returns
+        ``(False, now)``.  Under the ``block`` policy an arrival that
+        must wait (for a token; capacity blocking is resolved by the
+        service, which knows when the consumer frees a slot) returns
+        ``(False, retry_time)`` with ``retry_time > now``.
+        """
+        wait = self._take_token(now)
+        if wait is not None:
+            if self.config.policy == "block":
+                return False, now + wait
+            self._shed.inc(queue=self.name, reason="rate")
+            return False, now
+        if len(self._items) >= self.config.capacity:
+            if not self._evict(item, priority):
+                if self.config.policy == "block":
+                    # give the token back: the arrival will be re-offered
+                    if self.config.rate is not None:
+                        self._tokens = min(self._bucket, self._tokens + 1.0)
+                    return False, now
+                reason = (
+                    "priority"
+                    if self.config.policy == "shed-lowest-priority"
+                    else "capacity"
+                )
+                self._shed.inc(queue=self.name, reason=reason)
+                return False, now
+        self._items.append((now, priority, self._seq, item))
+        self._seq += 1
+        self._admitted.inc()
+        depth = len(self._items)
+        self._depth_gauge.set(depth)
+        self._depth_peak = max(self._depth_peak, depth)
+        return True, now
+
+    def _evict(self, item: Any, priority: int) -> bool:
+        """Make room under a shed policy; False means the queue stays
+        full (block, or the arrival itself is the lowest priority)."""
+        if self.config.policy == "shed-oldest":
+            victim = min(
+                range(len(self._items)),
+                key=lambda i: (self._items[i][0], self._items[i][2]),
+            )
+            self._items.pop(victim)
+            self.evicted += 1
+            self._shed.inc(queue=self.name, reason="capacity")
+            return True
+        if self.config.policy == "shed-lowest-priority":
+            victim = min(
+                range(len(self._items)),
+                key=lambda i: (
+                    self._items[i][1],
+                    self._items[i][0],
+                    self._items[i][2],
+                ),
+            )
+            if self._items[victim][1] >= priority:
+                # nothing queued outranks the arrival downward: shed it
+                return False
+            self._items.pop(victim)
+            self.evicted += 1
+            self._shed.inc(queue=self.name, reason="priority")
+            return True
+        return False
+
+    def pop(self) -> Tuple[float, int, int, Any]:
+        """Remove and return the earliest-admitted entry."""
+        victim = min(range(len(self._items)), key=lambda i: self._items[i][:3])
+        entry = self._items.pop(victim)
+        self._depth_gauge.set(len(self._items))
+        return entry
+
+    def peek_admit_time(self) -> float:
+        """Admission time of the entry :meth:`pop` would return."""
+        if not self._items:
+            return math.inf
+        return min(self._items)[0]

@@ -1,0 +1,391 @@
+"""The backpressured broker service: one consumer, bounded queues.
+
+:class:`BrokerService` replays interleaved, timestamped event streams —
+subscription churn, publications and (optionally) network faults —
+through one bounded :class:`~repro.online.queues.BoundedQueue` per
+stream into a single consumer that applies them to a
+:class:`~repro.broker.ContentBroker` via the incremental
+:class:`~repro.online.maintainer.ClusterMaintainer`.
+
+Everything runs on a **virtual clock** (arrival timestamps are part of
+the input; service capacity is a configured rate), so a seeded run is
+deterministic to the byte: queueing latency, shed counts and rebuild
+times depend only on the inputs.  The event loop is the textbook
+single-server multi-queue simulation:
+
+* arrivals are admitted through their stream's queue (token bucket,
+  capacity policy) at their timestamps;
+* the consumer serves admitted entries in admission order (ties broken
+  by stream rank: faults before churn before publications) at
+  ``service_rate`` events per virtual second;
+* per-event latency is ``completion - arrival``, recorded in
+  :mod:`repro.obs` histograms and returned raw for percentiles.
+
+Churn flows through the maintainer (incremental join/leave, exact drift
+accounting); the drift trigger inside the broker's rebuild scheduler
+turns sustained waste inflation into bounded warm refits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..broker import ContentBroker
+from ..geometry import Rectangle
+from ..obs import get_registry
+from .maintainer import ClusterMaintainer
+from .queues import BoundedQueue, QueueConfig
+
+__all__ = [
+    "ChurnJoin",
+    "ChurnLeave",
+    "Publish",
+    "FaultEvent",
+    "StreamEvent",
+    "ServiceConfig",
+    "ServiceResult",
+    "BrokerService",
+]
+
+#: consumer tie-break order between streams (lower serves first)
+_STREAM_RANK = {"fault": 0, "churn": 1, "pub": 2}
+#: default admission priority per stream (higher survives
+#: shed-lowest-priority longer)
+_STREAM_PRIORITY = {"fault": 2, "churn": 1, "pub": 0}
+
+
+@dataclass(frozen=True)
+class ChurnJoin:
+    node: int
+    rectangle: Rectangle
+
+
+@dataclass(frozen=True)
+class ChurnLeave:
+    #: index into the service's live-handle list (mod its length), so a
+    #: pregenerated stream never references a dead handle
+    index: int
+
+
+@dataclass(frozen=True)
+class Publish:
+    point: Tuple[float, ...]
+    publisher: int
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    kind: str  # node_down | node_up | link_down | link_up
+    node: Optional[int] = None
+    link: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One timestamped arrival on a named stream."""
+
+    time: float
+    stream: str  # "churn" | "pub" | "fault"
+    payload: object
+
+    def __post_init__(self) -> None:
+        if self.stream not in _STREAM_RANK:
+            raise ValueError(f"unknown stream {self.stream!r}")
+        if not (math.isfinite(self.time) and self.time >= 0):
+            raise ValueError("event time must be finite and non-negative")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Capacity and admission parameters of the service."""
+
+    #: events the consumer completes per virtual second
+    service_rate: float = 1000.0
+    churn_queue: QueueConfig = field(default_factory=QueueConfig)
+    pub_queue: QueueConfig = field(default_factory=QueueConfig)
+    fault_queue: QueueConfig = field(default_factory=QueueConfig)
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.service_rate) and self.service_rate > 0):
+            raise ValueError("service_rate must be a positive finite rate")
+
+
+@dataclass
+class ServiceResult:
+    """What one replay did, in virtual time only (fully deterministic)."""
+
+    n_events: int = 0
+    n_processed: Dict[str, int] = field(default_factory=dict)
+    n_shed: Dict[str, int] = field(default_factory=dict)
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    queue_depth_peaks: Dict[str, int] = field(default_factory=dict)
+    n_rebuilds: int = 0
+    n_fits: int = 0
+    joins: int = 0
+    leaves: int = 0
+    unassigned_joins: int = 0
+    final_inflation: float = 1.0
+    final_waste: float = 0.0
+    fit_waste: float = 0.0
+    #: (virtual time, inflation) samples after every churn completion
+    inflation_trajectory: List[Tuple[float, float]] = field(
+        default_factory=list
+    )
+    total_cost: float = 0.0
+    horizon: float = 0.0
+
+    def all_latencies(self) -> List[float]:
+        out: List[float] = []
+        for values in self.latencies.values():
+            out.extend(values)
+        return out
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 of the virtual queueing+service latency."""
+        values = self.all_latencies()
+        if not values:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        arr = np.asarray(values, dtype=np.float64)
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+class BrokerService:
+    """Single-consumer replay of bounded-queue event streams."""
+
+    def __init__(
+        self,
+        broker: ContentBroker,
+        maintainer: ClusterMaintainer,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        if maintainer.broker is not broker:
+            raise ValueError("maintainer must wrap the same broker")
+        self.broker = broker
+        self.maintainer = maintainer
+        self.config = config or ServiceConfig()
+        self._queues: Dict[str, BoundedQueue] = {
+            "fault": BoundedQueue("fault", self.config.fault_queue),
+            "churn": BoundedQueue("churn", self.config.churn_queue),
+            "pub": BoundedQueue("pub", self.config.pub_queue),
+        }
+        #: capacity-blocked producers per stream:
+        #: (ready_time, arrival_time, seq, event)
+        self._stalled: Dict[str, List[Tuple[float, float, int, StreamEvent]]]
+        self._stalled = {name: [] for name in self._queues}
+        self.busy_until = 0.0
+        self._service_time = 1.0 / self.config.service_rate
+        self.live_handles: List[int] = []
+        self._latency_hist = get_registry().histogram(
+            "online_latency_seconds",
+            "virtual queueing+service latency per event",
+            buckets=(
+                0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                1.0, 5.0,
+            ),
+        )
+        self._down_nodes: set = set()
+        self._down_links: set = set()
+
+    # ------------------------------------------------------------------
+    def run(self, events: Sequence[StreamEvent]) -> ServiceResult:
+        """Replay ``events`` (any order; sorted internally) to the end."""
+        result = ServiceResult(n_events=len(events))
+        result.n_processed = {name: 0 for name in self._queues}
+        result.n_shed = {name: 0 for name in self._queues}
+        result.latencies = {name: [] for name in self._queues}
+        self._result = result
+        fits_before = self.maintainer.captures
+        rebuilds_before = self.broker.stats.n_rebuilds
+        evicted_before = {
+            name: queue.evicted for name, queue in self._queues.items()
+        }
+
+        heap: List[Tuple[float, int, int, float, StreamEvent]] = []
+        for seq, event in enumerate(
+            sorted(events, key=lambda e: (e.time, _STREAM_RANK[e.stream]))
+        ):
+            # (offer_time, rank, seq, arrival_time, event): rate-blocked
+            # arrivals re-enter with a later offer time but keep their
+            # true arrival time for latency accounting
+            heapq.heappush(
+                heap,
+                (event.time, _STREAM_RANK[event.stream], seq, event.time,
+                 event),
+            )
+
+        while heap:
+            offer_at, rank, seq, arrived, event = heapq.heappop(heap)
+            self._drain(until=offer_at)
+            queue = self._queues[event.stream]
+            admitted, effective = queue.offer(
+                (arrived, event), offer_at,
+                priority=_STREAM_PRIORITY[event.stream],
+            )
+            if admitted:
+                continue
+            if queue.config.policy == "block" and effective > offer_at:
+                # rate-limited: the producer waits for the next token
+                heapq.heappush(
+                    heap, (effective, rank, seq, arrived, event)
+                )
+            elif queue.config.policy == "block":
+                # capacity-blocked: stalls until the consumer frees a slot
+                heapq.heappush(
+                    self._stalled[event.stream],
+                    (offer_at, arrived, seq, event),
+                )
+            else:
+                result.n_shed[event.stream] += 1
+        self._drain(until=math.inf)
+        # producers still capacity-blocked at end of input: admit them in
+        # waves (the drained queues are empty, so only the token bucket
+        # can push back, and a retry at the token time always lands)
+        while any(self._stalled.values()):
+            for name, stalled in self._stalled.items():
+                queue = self._queues[name]
+                while stalled and len(queue) < queue.config.capacity:
+                    ready, arrived, seq, event = heapq.heappop(stalled)
+                    when = max(ready, self.busy_until)
+                    priority = _STREAM_PRIORITY[event.stream]
+                    admitted, effective = queue.offer(
+                        (arrived, event), when, priority=priority
+                    )
+                    if not admitted:
+                        admitted, _ = queue.offer(
+                            (arrived, event), max(effective, when),
+                            priority=priority,
+                        )
+                        assert admitted, "stalled arrival failed to admit"
+            self._drain(until=math.inf)
+
+        # admitted-then-evicted entries are sheds too: every input event
+        # must land in exactly one of processed / shed
+        for name, queue in self._queues.items():
+            result.n_shed[name] += queue.evicted - evicted_before[name]
+        result.n_rebuilds = self.broker.stats.n_rebuilds - rebuilds_before
+        result.n_fits = self.maintainer.captures - fits_before
+        result.joins = self.maintainer.joins
+        result.leaves = self.maintainer.leaves
+        result.unassigned_joins = self.maintainer.unassigned_joins
+        result.final_inflation = self.maintainer.inflation
+        result.final_waste = self.maintainer.current_waste
+        result.fit_waste = self.maintainer.fit_waste
+        result.horizon = self.busy_until
+        result.queue_depth_peaks = {
+            name: queue.depth_peak for name, queue in self._queues.items()
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    def _drain(self, until: float) -> None:
+        """Serve admitted entries whose start time falls before ``until``."""
+        while True:
+            pick = self._next_entry()
+            if pick is None:
+                return
+            name, queue = pick
+            start = max(self.busy_until, queue.peek_admit_time())
+            if start >= until:
+                return
+            _, _, _, (arrived, event) = queue.pop()
+            completion = start + self._service_time
+            self.busy_until = completion
+            self._process(event, completion)
+            latency = completion - arrived
+            self._result.latencies[event.stream].append(latency)
+            self._result.n_processed[event.stream] += 1
+            self._latency_hist.observe(latency, stream=event.stream)
+            self._release_stalled(name, completion)
+
+    def _next_entry(self) -> Optional[Tuple[str, BoundedQueue]]:
+        """Queue holding the next entry to serve (admission order, ties
+        broken by stream rank)."""
+        best = None
+        best_key = None
+        for name, queue in self._queues.items():
+            if not len(queue):
+                continue
+            key = (queue.peek_admit_time(), _STREAM_RANK[name])
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (name, queue)
+        return best
+
+    def _release_stalled(self, name: str, now: float) -> None:
+        """Admit capacity-blocked producers after a slot freed at ``now``."""
+        stalled = self._stalled[name]
+        queue = self._queues[name]
+        while stalled and len(queue) < queue.config.capacity:
+            ready, arrived, seq, event = stalled[0]
+            if ready > now:
+                return
+            heapq.heappop(stalled)
+            admitted, effective = queue.offer(
+                (arrived, event), now,
+                priority=_STREAM_PRIORITY[event.stream],
+            )
+            if admitted:
+                continue
+            # the token bucket pushed back: retry at the token time on
+            # the next slot release
+            heapq.heappush(stalled, (max(effective, now), arrived, seq, event))
+            return
+
+    # ------------------------------------------------------------------
+    def _process(self, event: StreamEvent, now: float) -> None:
+        payload = event.payload
+        if isinstance(payload, ChurnJoin):
+            handle = self.maintainer.join(payload.node, payload.rectangle, now)
+            self.live_handles.append(handle)
+            self._sample_inflation(now)
+            self.maintainer.maybe_rebuild(now)
+        elif isinstance(payload, ChurnLeave):
+            if not self.live_handles:
+                return
+            index = payload.index % len(self.live_handles)
+            handle = self.live_handles.pop(index)
+            self.maintainer.leave(handle, now)
+            self._sample_inflation(now)
+            self.maintainer.maybe_rebuild(now)
+        elif isinstance(payload, Publish):
+            self.maintainer.maybe_rebuild(now)
+            receipt = self.broker.publish(payload.point, payload.publisher)
+            self._result.total_cost += float(receipt.cost)
+        elif isinstance(payload, FaultEvent):
+            self._apply_fault(payload, now)
+        else:
+            raise TypeError(f"unknown payload {type(payload).__name__}")
+
+    def _sample_inflation(self, now: float) -> None:
+        self._result.inflation_trajectory.append(
+            (now, self.maintainer.inflation)
+        )
+
+    def _apply_fault(self, fault: FaultEvent, now: float) -> None:
+        routing = self.broker.routing
+        broker = self.broker
+        if fault.kind == "node_down" and fault.node not in self._down_nodes:
+            weight = broker.subscribers_at(fault.node)
+            routing.fail_node(fault.node)
+            self._down_nodes.add(fault.node)
+            broker.notify_change(now, weight=max(1, weight))
+        elif fault.kind == "node_up" and fault.node in self._down_nodes:
+            routing.heal_node(fault.node)
+            self._down_nodes.discard(fault.node)
+            broker.notify_change(
+                now, weight=max(1, broker.subscribers_at(fault.node))
+            )
+        elif fault.kind == "link_down" and fault.link not in self._down_links:
+            routing.fail_link(*fault.link)
+            self._down_links.add(fault.link)
+            broker.notify_change(now, weight=1)
+        elif fault.kind == "link_up" and fault.link in self._down_links:
+            routing.heal_link(*fault.link)
+            self._down_links.discard(fault.link)
+            broker.notify_change(now, weight=1)

@@ -1,0 +1,399 @@
+"""Seeded soak driver: replay a churn+publication stream at rate.
+
+:func:`run_soak` builds a scenario, seeds an interleaved event stream
+(Poisson arrivals, a configurable churn fraction split evenly between
+joins and leaves) and replays it through the backpressured
+:class:`~repro.online.service.BrokerService` over an incrementally
+maintained broker.  Because the whole pipeline runs on a virtual clock,
+:meth:`SoakResult.deterministic_report` is **byte-identical across
+runs** of the same seed; :meth:`SoakResult.bench_record` additionally
+carries wall-clock numbers for the benchmark artefact
+(``BENCH_online.json``).
+
+Two companion entry points back the acceptance gates:
+
+* :func:`finalize_equivalence` — after a soak, the end-state
+  subscription set is refit twice on identical hyper-cells: once warm
+  (inheriting the incrementally maintained grouping) and once cold.
+  The ratio bounds how far incremental maintenance + drift-triggered
+  warm refits drifted from what a batch refit would produce.
+* :func:`run_rebuild_per_churn_baseline` — the offline strawman that
+  re-clusters after every churn event, replayed over the *same* stream;
+  its fit count and final waste anchor the ≥5×-fewer-fits claim.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..broker import BrokerConfig, ContentBroker
+from ..geometry import Rectangle
+from ..sim.scenario import build_preliminary_scenario
+from .maintainer import ClusterMaintainer, MaintainerConfig
+from .queues import POLICIES, QueueConfig
+from .service import (
+    BrokerService,
+    ChurnJoin,
+    ChurnLeave,
+    Publish,
+    ServiceConfig,
+    ServiceResult,
+    StreamEvent,
+)
+
+__all__ = [
+    "SoakConfig",
+    "SoakResult",
+    "generate_stream",
+    "run_soak",
+    "finalize_equivalence",
+    "run_rebuild_per_churn_baseline",
+]
+
+#: denominator floor for the warm/cold waste ratio
+_WASTE_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything a soak run depends on (all of it seeds the stream)."""
+
+    n_events: int = 20000
+    seed: int = 7
+    #: mean arrival rate of the merged stream, events per virtual second
+    rate: float = 800.0
+    #: consumer capacity, events per virtual second
+    service_rate: float = 1000.0
+    #: fraction of events that are churn (joins/leaves, split evenly)
+    churn_fraction: float = 0.1
+    n_nodes: int = 100
+    n_subscriptions: int = 300
+    n_groups: int = 30
+    max_cells: Optional[int] = 600
+    drift_threshold: float = 1.25
+    queue_capacity: int = 256
+    policy: str = "block"
+    queue_rate: Optional[float] = None
+    #: single-consumer service; kept explicit so the CLI surface matches
+    #: the parallel sweep engine's, but only 1 is implemented
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_events < 1:
+            raise ValueError("n_events must be positive")
+        if not self.rate > 0 or not self.service_rate > 0:
+            raise ValueError("rates must be positive")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ValueError("churn_fraction must be a proportion")
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+        if self.workers != 1:
+            raise ValueError(
+                "the online service is single-consumer; workers must be 1"
+            )
+
+
+@dataclass
+class SoakResult:
+    """A finished soak: deterministic virtual stats + wall-clock extras."""
+
+    config: SoakConfig
+    scenario_name: str
+    service: ServiceResult
+    #: warm-refit waste vs cold-refit waste on the end-state subscription
+    #: set (both on identical hyper-cells); None until finalized
+    warm_waste: Optional[float] = None
+    cold_waste: Optional[float] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def waste_ratio(self) -> Optional[float]:
+        if self.warm_waste is None or self.cold_waste is None:
+            return None
+        return self.warm_waste / max(self.cold_waste, _WASTE_FLOOR)
+
+    # ------------------------------------------------------------------
+    def deterministic_report(self) -> str:
+        """Virtual-clock summary, byte-identical across same-seed runs."""
+        svc = self.service
+        pct = svc.latency_percentiles()
+        lines = [
+            f"scenario          {self.scenario_name}",
+            f"seed              {self.config.seed}",
+            f"events            {svc.n_events}",
+            "processed         "
+            + " ".join(
+                f"{name}={svc.n_processed.get(name, 0)}"
+                for name in ("fault", "churn", "pub")
+            ),
+            "shed              "
+            + " ".join(
+                f"{name}={svc.n_shed.get(name, 0)}"
+                for name in ("fault", "churn", "pub")
+            ),
+            "queue depth peak  "
+            + " ".join(
+                f"{name}={svc.queue_depth_peaks.get(name, 0)}"
+                for name in ("fault", "churn", "pub")
+            ),
+            f"latency p50       {pct['p50']:.9f}",
+            f"latency p95       {pct['p95']:.9f}",
+            f"latency p99       {pct['p99']:.9f}",
+            f"joins             {svc.joins}",
+            f"leaves            {svc.leaves}",
+            f"unassigned joins  {svc.unassigned_joins}",
+            f"rebuilds          {svc.n_rebuilds}",
+            f"fits              {svc.n_fits}",
+            f"fit waste         {svc.fit_waste:.9f}",
+            f"final waste       {svc.final_waste:.9f}",
+            f"final inflation   {svc.final_inflation:.9f}",
+            f"total cost        {svc.total_cost:.6f}",
+            f"horizon           {svc.horizon:.9f}",
+        ]
+        if self.waste_ratio is not None:
+            lines.append(f"warm waste        {self.warm_waste:.9f}")
+            lines.append(f"cold waste        {self.cold_waste:.9f}")
+            lines.append(f"waste ratio       {self.waste_ratio:.9f}")
+        return "\n".join(lines) + "\n"
+
+    def bench_record(self) -> Dict:
+        """The ``BENCH_online.json`` payload (adds wall-clock numbers)."""
+        svc = self.service
+        pct = svc.latency_percentiles()
+        record = {
+            "benchmark": "online_soak",
+            "scenario": self.scenario_name,
+            "seed": self.config.seed,
+            "n_events": svc.n_events,
+            "processed": dict(svc.n_processed),
+            "shed": dict(svc.n_shed),
+            "queue_depth_peaks": dict(svc.queue_depth_peaks),
+            "latency_virtual_seconds": pct,
+            "joins": svc.joins,
+            "leaves": svc.leaves,
+            "unassigned_joins": svc.unassigned_joins,
+            "rebuilds": svc.n_rebuilds,
+            "fits": svc.n_fits,
+            "fit_waste": svc.fit_waste,
+            "final_waste": svc.final_waste,
+            "final_inflation": svc.final_inflation,
+            "total_cost": svc.total_cost,
+            "virtual_horizon": svc.horizon,
+            "wall_seconds": self.wall_seconds,
+            "events_per_wall_second": (
+                svc.n_events / self.wall_seconds if self.wall_seconds else 0.0
+            ),
+            "config": {
+                "rate": self.config.rate,
+                "service_rate": self.config.service_rate,
+                "churn_fraction": self.config.churn_fraction,
+                "queue_capacity": self.config.queue_capacity,
+                "policy": self.config.policy,
+                "drift_threshold": self.config.drift_threshold,
+            },
+        }
+        if self.waste_ratio is not None:
+            record["warm_waste"] = self.warm_waste
+            record["cold_waste"] = self.cold_waste
+            record["waste_ratio"] = self.waste_ratio
+        return record
+
+    def write_bench(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.bench_record(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+def _random_rectangle(space, rng: np.random.Generator) -> Rectangle:
+    """A join rectangle drawn like the chaos runner's (same idiom)."""
+    los, his = [], []
+    for dim in space.dimensions:
+        lo = float(rng.uniform(dim.lo - 1, dim.hi - 1))
+        los.append(lo)
+        his.append(lo + float(rng.uniform(1.0, (dim.hi - dim.lo) / 2 + 1)))
+    return Rectangle.from_bounds(los, his)
+
+
+def generate_stream(
+    config: SoakConfig, scenario
+) -> List[StreamEvent]:
+    """The seeded interleaved event stream of one soak run."""
+    rng = np.random.default_rng(config.seed + 1)
+    times = np.cumsum(
+        rng.exponential(1.0 / config.rate, size=config.n_events)
+    )
+    kinds = rng.random(config.n_events) < config.churn_fraction
+    join_or_leave = rng.random(config.n_events) < 0.5
+    n_pubs = int(np.sum(~kinds))
+    pub_rng = np.random.default_rng(config.seed + 2)
+    publications = scenario.publications.sample(pub_rng, n_pubs)
+    join_rng = np.random.default_rng(config.seed + 3)
+    n_nodes = scenario.topology.graph.n_nodes
+
+    events: List[StreamEvent] = []
+    pub_idx = 0
+    for i in range(config.n_events):
+        t = float(times[i])
+        if kinds[i]:
+            if join_or_leave[i]:
+                payload = ChurnJoin(
+                    node=int(join_rng.integers(0, n_nodes)),
+                    rectangle=_random_rectangle(scenario.space, join_rng),
+                )
+            else:
+                payload = ChurnLeave(
+                    index=int(join_rng.integers(0, 2**31 - 1))
+                )
+            events.append(StreamEvent(t, "churn", payload))
+        else:
+            event = publications[pub_idx]
+            pub_idx += 1
+            events.append(
+                StreamEvent(
+                    t, "pub", Publish(tuple(event.point), event.publisher)
+                )
+            )
+    return events
+
+
+def _build_broker(config: SoakConfig, scenario) -> ContentBroker:
+    broker_config = BrokerConfig(
+        n_groups=config.n_groups,
+        max_cells=config.max_cells,
+        algorithm="forgy",
+        adaptive=True,
+        warm_start=True,
+        # the equivalence gate compares the warm refit against a cold
+        # one; a slightly deeper iteration budget closes most of the
+        # warm-start gap at negligible cost
+        max_warm_iters=25,
+        # the maintainer owns freshness: count-based rebalance is off,
+        # rebuilds come from the drift trigger only
+        rebalance_after=10**9,
+        drift_threshold=config.drift_threshold,
+        delta_cells=True,
+    )
+    broker = ContentBroker(
+        scenario.routing,
+        scenario.space,
+        scenario.cell_pmf,
+        config=broker_config,
+    )
+    subs = scenario.subscriptions
+    nodes = subs.subscriber_nodes
+    for subscriber, rectangle in enumerate(subs.rectangles()):
+        broker.subscribe(int(nodes[subscriber]), rectangle)
+    broker.rebuild()
+    return broker
+
+
+def run_soak(config: SoakConfig, finalize: bool = True) -> SoakResult:
+    """Build, stream, replay; optionally finalize the equivalence refits."""
+    scenario = build_preliminary_scenario(
+        n_nodes=config.n_nodes,
+        n_subscriptions=config.n_subscriptions,
+        seed=config.seed,
+    )
+    broker = _build_broker(config, scenario)
+    maintainer = ClusterMaintainer(broker, MaintainerConfig())
+    queue = QueueConfig(
+        capacity=config.queue_capacity,
+        policy=config.policy,
+        rate=config.queue_rate,
+    )
+    service = BrokerService(
+        broker,
+        maintainer,
+        ServiceConfig(
+            service_rate=config.service_rate,
+            churn_queue=queue,
+            pub_queue=queue,
+            fault_queue=QueueConfig(capacity=config.queue_capacity),
+        ),
+    )
+    service.live_handles = broker.handles()
+    events = generate_stream(config, scenario)
+    start = time.perf_counter()
+    outcome = service.run(events)
+    wall = time.perf_counter() - start
+    result = SoakResult(
+        config=config,
+        scenario_name=scenario.name,
+        service=outcome,
+        wall_seconds=wall,
+    )
+    if finalize:
+        result.warm_waste, result.cold_waste = finalize_equivalence(broker)
+    return result
+
+
+def finalize_equivalence(broker: ContentBroker) -> Tuple[float, float]:
+    """Warm-vs-cold refit waste on the end-state subscription set.
+
+    The warm refit inherits the incrementally maintained grouping (the
+    online path's answer); the cold refit re-clusters from scratch (the
+    batch answer).  Both run on the same hyper-cells, so the ratio is
+    exactly the price of staying incremental.  Leaves the broker on the
+    cold fit.
+    """
+    broker.rebuild(full=False)
+    warm = broker.clustering.total_expected_waste()
+    broker.rebuild(full=True)
+    cold = broker.clustering.total_expected_waste()
+    return float(warm), float(cold)
+
+
+def run_rebuild_per_churn_baseline(config: SoakConfig) -> Dict:
+    """The offline strawman: a full pipeline rebuild after every churn.
+
+    Replays the *same* seeded stream (publications priced, churn applied
+    eagerly with an immediate rebuild) and reports its fit count and
+    final expected waste — the anchor for the online runtime's
+    ≥N×-fewer-fits claim.
+    """
+    scenario = build_preliminary_scenario(
+        n_nodes=config.n_nodes,
+        n_subscriptions=config.n_subscriptions,
+        seed=config.seed,
+    )
+    broker = _build_broker(config, scenario)
+    live_handles = broker.handles()
+    leave_rng_fallback = 0  # keep flake-free symmetry with the service
+    fits = 1  # the initial build
+    events = generate_stream(config, scenario)
+    start = time.perf_counter()
+    for event in sorted(events, key=lambda e: e.time):
+        payload = event.payload
+        if isinstance(payload, ChurnJoin):
+            handle = broker.subscribe(payload.node, payload.rectangle)
+            live_handles.append(handle)
+            broker.rebuild()
+            fits += 1
+        elif isinstance(payload, ChurnLeave):
+            if not live_handles:
+                leave_rng_fallback += 1
+                continue
+            handle = live_handles.pop(payload.index % len(live_handles))
+            broker.unsubscribe(handle)
+            broker.rebuild()
+            fits += 1
+        elif isinstance(payload, Publish):
+            broker.publish(payload.point, payload.publisher)
+    wall = time.perf_counter() - start
+    waste = (
+        broker.clustering.total_expected_waste()
+        if broker.clustering is not None
+        else 0.0
+    )
+    return {
+        "fits": fits,
+        "final_waste": float(waste),
+        "wall_seconds": wall,
+        "n_events": len(events),
+    }

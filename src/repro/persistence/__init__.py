@@ -1,29 +1,35 @@
 """Save/load for the pipeline's expensive artefacts (.npz format):
-topologies, subscription sets, hyper-cell sets, clusterings and
-No-Loss region lists."""
+topologies, subscription sets, hyper-cell sets, clusterings, No-Loss
+region lists and online-runtime checkpoints."""
 
 from .io import (
+    OnlineState,
     load_cell_set,
     load_clustering,
     load_noloss_result,
+    load_online_state,
     load_subscriptions,
     load_topology,
     save_cell_set,
     save_clustering,
     save_noloss_result,
+    save_online_state,
     save_subscriptions,
     save_topology,
 )
 
 __all__ = [
+    "OnlineState",
     "load_cell_set",
     "load_clustering",
     "load_noloss_result",
+    "load_online_state",
     "load_subscriptions",
     "load_topology",
     "save_cell_set",
     "save_clustering",
     "save_noloss_result",
+    "save_online_state",
     "save_subscriptions",
     "save_topology",
 ]

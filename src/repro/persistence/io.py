@@ -21,6 +21,7 @@ from ..clustering import Clustering, NoLossResult
 from ..geometry import Dimension, EventSpace, Rectangle
 from ..grid import CellSet
 from ..network import Graph, Topology
+from ..online.queues import QueueConfig
 from ..workload import Subscription, SubscriptionSet
 
 __all__ = [
@@ -34,6 +35,9 @@ __all__ = [
     "load_clustering",
     "save_noloss_result",
     "load_noloss_result",
+    "OnlineState",
+    "save_online_state",
+    "load_online_state",
 ]
 
 _FORMAT_VERSION = 1
@@ -144,7 +148,15 @@ def load_topology(path) -> Topology:
 # subscriptions
 # ----------------------------------------------------------------------
 def save_subscriptions(subscriptions: SubscriptionSet, path) -> None:
-    """Persist a rectangle subscription set (with its event space)."""
+    """Persist a rectangle subscription set (with its event space).
+
+    A set that saw online churn (deactivated subscribers hold sentinel
+    never-matching bounds) is compacted first: only the active
+    subscriptions are written, renumbered densely, so the file always
+    round-trips through :func:`load_subscriptions`.
+    """
+    if subscriptions.n_active_subscribers != subscriptions.n_subscribers:
+        subscriptions, _ = subscriptions.compact()
     los, his = subscriptions.bounds()
     owners = np.array(
         [s.subscriber for s in subscriptions.subscriptions], dtype=np.int64
@@ -279,6 +291,104 @@ def save_noloss_result(result: NoLossResult, path) -> None:
         group_of=result.group_of,
         group_flat=group_flat,
         group_offsets=group_offsets,
+    )
+
+
+# ----------------------------------------------------------------------
+# online runtime checkpoints
+# ----------------------------------------------------------------------
+class OnlineState:
+    """A restored online-runtime checkpoint.
+
+    Carries the maintainer's drift-accounting vectors and counters plus
+    the service's queue configurations; :meth:`apply` resumes a
+    :class:`~repro.online.maintainer.ClusterMaintainer` whose broker
+    already holds the matching clustering and subscription set (saved
+    separately via :func:`save_clustering` / :func:`save_subscriptions`).
+    """
+
+    def __init__(
+        self,
+        cell_group: np.ndarray,
+        group_mass: np.ndarray,
+        fit_waste: float,
+        current_waste: float,
+        counters: Dict[str, int],
+        queues: Dict[str, QueueConfig],
+    ) -> None:
+        self.cell_group = cell_group
+        self.group_mass = group_mass
+        self.fit_waste = fit_waste
+        self.current_waste = current_waste
+        self.counters = counters
+        self.queues = queues
+
+    def apply(self, maintainer) -> None:
+        """Resume ``maintainer`` from this checkpoint."""
+        maintainer.restore(
+            self.cell_group,
+            self.group_mass,
+            self.fit_waste,
+            self.current_waste,
+            **self.counters,
+        )
+
+
+def save_online_state(maintainer, path, queues=None) -> None:
+    """Persist a maintainer's drift state (+ optional queue configs).
+
+    ``queues`` maps stream names to
+    :class:`~repro.online.queues.QueueConfig`; pass the service's
+    configuration so a restart reproduces its admission behaviour.
+    """
+    arrays = maintainer.state_arrays()
+    queue_meta = {
+        name: {
+            "capacity": cfg.capacity,
+            "policy": cfg.policy,
+            "rate": cfg.rate,
+            "burst": cfg.burst,
+        }
+        for name, cfg in (queues or {}).items()
+    }
+    _save(
+        path,
+        {
+            "kind": "online",
+            "fit_waste": maintainer.fit_waste,
+            "current_waste": maintainer.current_waste,
+            "counters": {
+                "joins": maintainer.joins,
+                "leaves": maintainer.leaves,
+                "unassigned_joins": maintainer.unassigned_joins,
+                "captures": maintainer.captures,
+            },
+            "queues": queue_meta,
+        },
+        cell_group=np.asarray(arrays["cell_group"], dtype=np.int64),
+        group_mass=np.asarray(arrays["group_mass"], dtype=np.float64),
+    )
+
+
+def load_online_state(path) -> OnlineState:
+    meta, arrays = _load(path)
+    _check_kind(meta, "online")
+    queues = {
+        name: QueueConfig(
+            capacity=int(entry["capacity"]),
+            policy=str(entry["policy"]),
+            rate=entry["rate"],
+            burst=entry["burst"],
+        )
+        for name, entry in meta.get("queues", {}).items()
+    }
+    return OnlineState(
+        cell_group=arrays["cell_group"],
+        group_mass=arrays["group_mass"],
+        fit_waste=float(meta["fit_waste"]),
+        current_waste=float(meta["current_waste"]),
+        counters={k: int(v) for k, v in meta["counters"].items()},
+        queues=queues,
     )
 
 

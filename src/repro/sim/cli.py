@@ -8,6 +8,13 @@ Usage::
     python -m repro.sim.cli fig8 | fig9 | fig10 | fig11
     python -m repro.sim.cli sweep  [--workers N] [--algorithms ...] ...
     python -m repro.sim.cli chaos  [--workers N] ...
+    python -m repro.sim.cli serve  [--events N] [--seed S] [--rate R] ...
+
+``serve`` replays a seeded churn+publication stream through the online
+streaming runtime (bounded admission queues, incremental cluster
+maintenance, drift-triggered warm refits) and prints a virtual-clock
+report that is byte-identical across runs of the same seed; ``--bench``
+writes ``BENCH_online.json`` with wall-clock extras.
 
 ``sweep`` is the parallel sweep engine's front end: cells (one per
 algorithm × group count) fan across ``--workers`` processes with
@@ -173,6 +180,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--bench", metavar="PATH",
         help="write a JSON wall-clock record (workers, per-cell seconds)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="replay a churn+publication stream through the online "
+        "streaming runtime",
+        parents=[obs, pool],
+    )
+    p.add_argument("--events", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--nodes", type=int, default=100)
+    p.add_argument("--subs", type=int, default=300)
+    p.add_argument("--groups", type=int, default=30)
+    p.add_argument("--max-cells", type=int, default=600)
+    p.add_argument("--rate", type=float, default=800.0,
+                   help="mean arrival rate, events per virtual second")
+    p.add_argument("--service-rate", type=float, default=1000.0,
+                   help="consumer capacity, events per virtual second")
+    p.add_argument("--churn", type=float, default=0.1, metavar="FRAC",
+                   help="fraction of events that are joins/leaves")
+    p.add_argument("--queue-capacity", type=int, default=256)
+    p.add_argument(
+        "--policy", default="block",
+        choices=("block", "shed-oldest", "shed-lowest-priority"),
+        help="backpressure policy of the churn and publication queues",
+    )
+    p.add_argument("--queue-rate", type=float, default=None,
+                   help="per-queue token-bucket rate limit (events per "
+                   "virtual second; default unlimited)")
+    p.add_argument("--drift-threshold", type=float, default=1.25,
+                   help="waste-inflation ratio that triggers a warm refit")
+    p.add_argument(
+        "--bench", metavar="PATH", nargs="?", const="BENCH_online.json",
+        help="write a JSON bench record (default BENCH_online.json)",
     )
 
     p = sub.add_parser(
@@ -351,8 +392,43 @@ def _run_command(args: argparse.Namespace) -> None:
             )
     elif args.command == "sweep":
         _run_sweep(args)
+    elif args.command == "serve":
+        _run_serve(args)
     elif args.command == "chaos":
         _run_chaos(args)
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    from ..online import SoakConfig, run_soak
+
+    config = SoakConfig(
+        n_events=args.events,
+        seed=args.seed,
+        rate=args.rate,
+        service_rate=args.service_rate,
+        churn_fraction=args.churn,
+        n_nodes=args.nodes,
+        n_subscriptions=args.subs,
+        n_groups=args.groups,
+        max_cells=args.max_cells,
+        drift_threshold=args.drift_threshold,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        queue_rate=args.queue_rate,
+        workers=args.workers,
+    )
+    result = run_soak(config)
+    # the report carries virtual-clock numbers only: byte-identical
+    # across runs of the same seed (wall-clock goes to --bench)
+    print(result.deterministic_report(), end="")
+    if result.waste_ratio is not None and result.waste_ratio > 1.1:
+        raise SystemExit(
+            f"incremental maintenance drifted {result.waste_ratio:.3f}x "
+            "past the batch refit (gate: 1.1x)"
+        )
+    if args.bench:
+        result.write_bench(args.bench)
+        print(f"(bench record written to {args.bench})")
 
 
 def _run_sweep(args: argparse.Namespace) -> None:

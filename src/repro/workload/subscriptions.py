@@ -88,6 +88,94 @@ class SubscriptionSet:
         if np.any(node_of < 0):
             raise ValueError("every subscriber id up to the max must be used")
         self._node_of = node_of
+        # ---- churn support (online runtime) --------------------------
+        # live flags per subscriber id; rows of departed subscribers are
+        # blanked to never-matching bounds so ids stay stable between
+        # refits and every index built on them keeps working
+        self._alive = np.ones(self.n_subscribers, dtype=bool)
+        self._n_alive = self.n_subscribers
+
+    # ------------------------------------------------------------------
+    # incremental churn: joins append, leaves deactivate in place
+    # ------------------------------------------------------------------
+    @property
+    def n_active_subscribers(self) -> int:
+        """Subscribers currently live (``n_subscribers`` minus leaves)."""
+        return self._n_alive
+
+    def is_active(self, subscriber: int) -> bool:
+        return bool(self._alive[subscriber])
+
+    def add(self, node: int, rectangle: Rectangle) -> int:
+        """Append one new subscriber with a single rectangle; returns
+        its id (ids are never reused within a set's lifetime).
+
+        The bound matrices are extended with the new row, so the
+        subscription matches events immediately — no rebuild of the set
+        is needed.  A refit compacts departed ids away via
+        :meth:`compact`.
+        """
+        if rectangle.dimensions != self.space.n_dims:
+            raise ValueError("subscription dimensionality mismatch")
+        if node < 0:
+            raise ValueError("node must be non-negative")
+        subscriber = self.n_subscribers
+        sub = Subscription(subscriber, node, rectangle)
+        lo_row = np.array(
+            [side.lo for side in rectangle.sides], dtype=np.float64
+        )
+        hi_row = np.array(
+            [side.hi for side in rectangle.sides], dtype=np.float64
+        )
+        self._los = np.concatenate([self._los, lo_row[None, :]])
+        self._his = np.concatenate([self._his, hi_row[None, :]])
+        self._owners = np.append(self._owners, subscriber)
+        self._node_of = np.append(self._node_of, node)
+        self._alive = np.append(self._alive, True)
+        self.subscriptions = self.subscriptions + (sub,)
+        self.n_subscribers += 1
+        self._n_alive += 1
+        return subscriber
+
+    def deactivate(self, subscriber: int) -> None:
+        """Process a leave: the subscriber's rows stop matching anything.
+
+        The id and its node mapping are kept (group membership vectors
+        and delivery-plan indices built on the old width stay valid);
+        only the rectangle bounds are blanked so no event ever matches.
+        """
+        if not 0 <= subscriber < self.n_subscribers:
+            raise KeyError(f"unknown subscriber {subscriber}")
+        if not self._alive[subscriber]:
+            raise KeyError(f"subscriber {subscriber} already departed")
+        rows = np.nonzero(self._owners == subscriber)[0]
+        self._los[rows] = np.inf
+        self._his[rows] = -np.inf
+        self._alive[subscriber] = False
+        self._n_alive -= 1
+
+    def active_subscriptions(self) -> List[Subscription]:
+        """The live subscriptions (in id order, departed ones dropped)."""
+        return [
+            s for s in self.subscriptions if self._alive[s.subscriber]
+        ]
+
+    def compact(self) -> Tuple["SubscriptionSet", np.ndarray]:
+        """A fresh set with dense 0..n-1 ids, plus the old→new id map.
+
+        Departed subscribers map to ``-1``.  This is what a full refit
+        (and persistence) operates on after interleaved join/leave churn.
+        """
+        mapping = np.full(self.n_subscribers, -1, dtype=np.int64)
+        mapping[self._alive] = np.arange(self._n_alive, dtype=np.int64)
+        compacted = [
+            Subscription(
+                int(mapping[s.subscriber]), s.node, s.rectangle
+            )
+            for s in self.subscriptions
+            if self._alive[s.subscriber]
+        ]
+        return SubscriptionSet(self.space, compacted), mapping
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

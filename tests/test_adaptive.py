@@ -119,3 +119,49 @@ class TestAdaptiveNeverWorse:
             decision = policy.decide(0, plan)
             for cost in decision.candidate_costs.values():
                 assert decision.cost <= cost + 1e-9
+
+
+class TestObsInstrumentation:
+    """decide() must feed the mode counter and cost-gap histogram."""
+
+    def test_mode_counter_increments(self, setup):
+        from repro.obs import get_registry
+
+        counter = get_registry().counter(
+            "delivery_mode_total", "adaptive per-event mode decisions"
+        )
+        policy = AdaptiveDeliveryPolicy(setup)
+        before = counter.labels(mode="unicast").value
+        decision = policy.decide(0, plan_for([0]))
+        assert decision.mode == "unicast"
+        assert counter.labels(mode="unicast").value == before + 1
+
+    def test_gap_histogram_observes(self, setup):
+        from repro.obs import get_registry
+
+        policy = AdaptiveDeliveryPolicy(setup)
+        child = get_registry().get("delivery_mode_cost_gap").labels()
+        before = child.count
+        policy.decide(0, plan_for([0]))
+        policy.decide(0, plan_for([0, 1, 2, 3]))
+        assert child.count == before + 2
+
+    def test_realized_gap_vs_fixed_policy(self, setup):
+        policy = AdaptiveDeliveryPolicy(setup)
+        # a wasteful group: the fixed policy executes the plan, the
+        # adaptive one pays the cheaper unicast — the gap is the spread
+        decision = policy.decide(0, plan_for([0], members=[0, 1, 2, 3]))
+        fixed = decision.candidate_costs.get(
+            "multicast", decision.candidate_costs["unicast"]
+        )
+        assert decision.realized_gap == pytest.approx(fixed - decision.cost)
+        assert decision.realized_gap >= 0.0
+
+    def test_realized_gap_zero_when_plan_wins(self, setup):
+        policy = AdaptiveDeliveryPolicy(setup)
+        # everyone interested and grouped: the plan is the cheapest mode
+        decision = policy.decide(0, plan_for([0, 1, 2, 3], members=[0, 1, 2, 3]))
+        if decision.mode == "multicast":
+            assert decision.realized_gap == 0.0
+        else:
+            assert decision.realized_gap >= 0.0

@@ -220,3 +220,53 @@ class TestSweepCommand:
         assert record["n_cells"] == 4
         assert len(record["cell_seconds"]) == 4
         assert record["wall_seconds"] > 0
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.events == 20000
+        assert args.seed == 7
+        assert args.nodes == 100
+        assert args.subs == 300
+        assert args.policy == "block"
+        assert args.queue_capacity == 256
+        assert args.drift_threshold == pytest.approx(1.25)
+        assert args.bench is None
+
+    def test_bench_flag_const(self):
+        args = build_parser().parse_args(["serve", "--bench"])
+        assert args.bench == "BENCH_online.json"
+        args = build_parser().parse_args(["serve", "--bench", "out.json"])
+        assert args.bench == "out.json"
+
+    def test_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "drop-newest"])
+
+    def test_smoke(self, capsys, tmp_path):
+        import json
+
+        bench_path = tmp_path / "bench.json"
+        argv = [
+            "serve", "--events", "600", "--subs", "120",
+            "--groups", "16", "--max-cells", "300",
+            "--churn", "0.15", "--bench", str(bench_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for line in ("scenario", "latency p50", "waste ratio", "fits"):
+            assert line in out
+        record = json.loads(bench_path.read_text())
+        assert record["n_events"] == 600
+        assert "p99" in record["latency_virtual_seconds"]
+
+    def test_smoke_is_deterministic(self, capsys):
+        argv = ["serve", "--events", "600", "--subs", "120",
+                "--groups", "16", "--max-cells", "300",
+                "--churn", "0.15"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second

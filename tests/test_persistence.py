@@ -170,3 +170,125 @@ class TestFormatSafety:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_topology(tmp_path / "nope.npz")
+
+
+class TestSubscriptionChurnRoundTrip:
+    """Sets mutated online (add/deactivate) must still round-trip."""
+
+    def _churned_set(self, small_topology):
+        from repro.workload import EvaluationSubscriptionModel
+
+        model = EvaluationSubscriptionModel(small_topology)
+        subs = model.generate(np.random.default_rng(5), 30)
+        rect = subs.subscriptions[0].rectangle
+        for victim in (3, 11, 19):
+            subs.deactivate(victim)
+        for node in (0, 1):
+            subs.add(node, rect)
+        return subs
+
+    def test_compacts_to_active_only(self, small_topology, path):
+        subs = self._churned_set(small_topology)
+        assert subs.n_active_subscribers == 29
+        save_subscriptions(subs, path)
+        loaded = load_subscriptions(path)
+        assert loaded.n_subscribers == 29
+        assert loaded.n_active_subscribers == 29
+        # deactivated rows carry never-matching sentinel bounds
+        # (lo > hi); none may survive the trip
+        los, his = loaded.bounds()
+        assert np.all(los <= his)
+
+    def test_matching_equivalent_after_churn(self, small_topology, path):
+        subs = self._churned_set(small_topology)
+        save_subscriptions(subs, path)
+        loaded = load_subscriptions(path)
+        compacted, mapping = subs.compact()
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            point = tuple(rng.uniform(-1, 21, size=4))
+            np.testing.assert_array_equal(
+                loaded.interested_subscribers(point),
+                compacted.interested_subscribers(point),
+            )
+
+
+class TestOnlineStateRoundTrip:
+    @pytest.fixture()
+    def online(self, small_topology):
+        from repro.broker import BrokerConfig, ContentBroker
+        from repro.network import RoutingTables
+        from repro.online import ClusterMaintainer
+        from repro.workload import (
+            MixturePublicationModel,
+            single_mode_mixture,
+        )
+
+        publications = MixturePublicationModel(
+            small_topology, single_mode_mixture()
+        )
+        space = publications.space
+        broker = ContentBroker(
+            RoutingTables(small_topology.graph),
+            space,
+            publications.cell_pmf(),
+            config=BrokerConfig(
+                n_groups=6, max_cells=200, rebalance_after=10**9
+            ),
+        )
+        rng = np.random.default_rng(21)
+        for _ in range(20):
+            los, his = [], []
+            for dim in space.dimensions:
+                lo = rng.uniform(dim.lo - 1, dim.hi - 1)
+                los.append(lo)
+                his.append(lo + rng.uniform(1, 6))
+            from repro.geometry import Rectangle
+
+            broker.subscribe(
+                int(rng.integers(0, small_topology.graph.n_nodes)),
+                Rectangle.from_bounds(los, his),
+            )
+        broker.rebuild()
+        return broker, ClusterMaintainer(broker), space, rng
+
+    def test_round_trip(self, online, path):
+        from repro.geometry import Rectangle
+        from repro.online import ClusterMaintainer, QueueConfig
+        from repro.persistence import load_online_state, save_online_state
+
+        broker, maintainer, space, rng = online
+        los = [dim.lo for dim in space.dimensions]
+        his = [dim.hi for dim in space.dimensions]
+        maintainer.join(0, Rectangle.from_bounds(los, his), now=0.0)
+        queues = {
+            "pub": QueueConfig(
+                capacity=64, policy="shed-oldest", rate=500.0, burst=8
+            ),
+            "churn": QueueConfig(capacity=32),
+        }
+        save_online_state(maintainer, path, queues=queues)
+        state = load_online_state(path)
+        arrays = maintainer.state_arrays()
+        np.testing.assert_array_equal(state.cell_group, arrays["cell_group"])
+        np.testing.assert_allclose(state.group_mass, arrays["group_mass"])
+        assert state.fit_waste == pytest.approx(maintainer.fit_waste)
+        assert state.current_waste == pytest.approx(maintainer.current_waste)
+        assert state.counters["joins"] == 1
+        assert state.counters["captures"] == 1
+        assert state.queues == queues
+
+        saved_inflation = maintainer.inflation
+        broker.rebuild()
+        resumed = ClusterMaintainer(broker)
+        state.apply(resumed)
+        assert resumed.inflation == pytest.approx(saved_inflation)
+        assert resumed.joins == 1
+        assert resumed.unassigned_joins == maintainer.unassigned_joins
+
+    def test_kind_guard(self, online, path, small_topology):
+        from repro.persistence import load_online_state
+
+        save_topology(small_topology, path)
+        with pytest.raises(ValueError):
+            load_online_state(path)
