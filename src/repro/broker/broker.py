@@ -177,6 +177,17 @@ class ContentBroker:
             self._track_cells(handle, rectangle)
         return handle
 
+    def covered_cells(self, handle: int) -> Optional[np.ndarray]:
+        """Cached flat grid cells a live subscription covers.
+
+        Populated by the delta-cells tracking of :meth:`subscribe`;
+        ``None`` when the handle is unknown or tracking is disabled.
+        Consumers (the cluster maintainer's join/leave scoring) treat
+        the array as read-only — it is the same object the delta
+        rebuild path gathers.
+        """
+        return self._cells_of.get(handle)
+
     def unsubscribe(self, handle: int) -> None:
         """Remove a subscription by its handle."""
         try:

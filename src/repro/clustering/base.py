@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..grid import CellSet
+from ..kernels import PackedBits, pack_rows
 from ..obs import get_registry, get_tracer
 
 __all__ = ["Clustering", "GridClusteringAlgorithm"]
@@ -52,20 +53,29 @@ class Clustering:
             raise ValueError("every hyper-cell must belong to a group")
         self.assignment = assignment
         n_groups = int(assignment.max()) + 1 if len(assignment) else 0
-        membership = np.zeros(
-            (n_groups, self.cells.n_subscribers), dtype=bool
+        # union the member rows in packed form (one OR-reduce over
+        # uint64 words per group) and unpack once; identical to
+        # any(axis=0) over the boolean rows
+        packed_cells = self.cells.packed
+        group_words = np.zeros(
+            (n_groups, packed_cells.n_words), dtype=np.uint64
         )
         probs = np.zeros(n_groups, dtype=np.float64)
         for g in range(n_groups):
             members = assignment == g
             if not members.any():
                 raise ValueError(f"group {g} is empty")
-            membership[g] = self.cells.membership[members].any(axis=0)
+            group_words[g] = np.bitwise_or.reduce(
+                packed_cells.words[members], axis=0
+            )
             probs[g] = self.cells.probs[members].sum()
-        self.group_membership = membership
+        packed_groups = PackedBits(group_words, packed_cells.n_bits)
+        self.group_membership = packed_groups.unpack()
         self.group_probs = probs
         self._member_lists: Optional[List[np.ndarray]] = None
         self._version = 0
+        self._packed_groups: Optional[PackedBits] = packed_groups
+        self._packed_groups_version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -184,6 +194,16 @@ class Clustering:
         """Number of subscribers in each group."""
         return self.group_membership.sum(axis=1)
 
+    def _group_packed(self) -> PackedBits:
+        """Packed group membership rows, refreshed on version bumps."""
+        if (
+            self._packed_groups is None
+            or self._packed_groups_version != self._version
+        ):
+            self._packed_groups = pack_rows(self.group_membership)
+            self._packed_groups_version = self._version
+        return self._packed_groups
+
     # ------------------------------------------------------------------
     def total_expected_waste(self) -> float:
         """Objective value: expected wasted deliveries per published event.
@@ -193,11 +213,17 @@ class Clustering:
         the expectation (restricted to events landing in clustered cells).
         """
         group_sizes = self.group_membership.sum(axis=1).astype(np.float64)
-        inter = (
-            self.cells.membership.astype(np.float32)
-            @ self.group_membership.astype(np.float32).T
+        # |s(a) ∩ s(G)| via one AND + popcount over each cell's packed
+        # row against its own group's packed row; the counts are exact
+        # integers, so this matches the float32-matmul formulation bit
+        # for bit
+        cell_words = self.cells.packed.words
+        chosen = self._group_packed().words[self.assignment]
+        per_cell = (
+            np.bitwise_count(cell_words & chosen)
+            .sum(axis=1, dtype=np.int64)
+            .astype(np.float64)
         )
-        per_cell = inter[np.arange(len(self.cells)), self.assignment]
         extra = group_sizes[self.assignment] - per_cell
         return float(np.sum(self.cells.probs * extra))
 

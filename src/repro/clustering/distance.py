@@ -14,15 +14,19 @@ who are not interested in them" — forces this pairing.  See DESIGN.md.)
 
 All kernels operate on boolean membership matrices and are fully
 vectorised; the cross-membership counts ``|s(a) ∩ s(b)|`` come from one
-matrix product.
+matrix product — or, when a compiled kernel backend is active
+(:mod:`repro.kernels`), from popcounts over the packed-bitset mirror of
+the membership matrix.  The counts are exact small integers either way,
+so both paths produce bit-identical float32 matrices.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from ..kernels import PackedBits, get_backend, pack_rows
 from ..obs import get_registry
 
 __all__ = [
@@ -90,28 +94,39 @@ def _count_evals(n: int) -> None:
 
 
 def pairwise_waste_matrix(
-    membership: np.ndarray, probs: np.ndarray
+    membership: np.ndarray,
+    probs: np.ndarray,
+    packed: Optional[PackedBits] = None,
 ) -> np.ndarray:
     """Full ``(m, m)`` expected-waste matrix between hyper-cells.
 
     ``W[i, j] = p_i * (|s_j| - |s_i ∩ s_j|) + p_j * (|s_i| - |s_i ∩ s_j|)``.
     The diagonal is zero.  Used by the MST and Pairwise Grouping
-    algorithms.
+    algorithms.  Callers holding a packed-bitset mirror of ``membership``
+    (:attr:`repro.grid.CellSet.packed`) pass it to let a compiled kernel
+    backend skip the matmul; results are bit-identical either way.
     """
     membership = np.asarray(membership, dtype=bool)
-    probs = np.asarray(probs, dtype=np.float32)
-    if membership.ndim != 2 or len(probs) != len(membership):
+    probs32 = np.asarray(probs, dtype=np.float32)
+    if membership.ndim != 2 or len(probs32) != len(membership):
         raise ValueError("membership must be (m, S) with matching probs")
-    sizes = membership.sum(axis=1).astype(np.float32)
     _count_evals(len(membership) * len(membership))
+    backend = get_backend()
+    if backend.compiled:
+        if packed is None:
+            packed = pack_rows(membership)
+        return backend.waste_matrix(
+            packed, np.asarray(probs, dtype=np.float64)
+        )
+    sizes = membership.sum(axis=1).astype(np.float32)
     # float32 throughout: the matrix is O(m^2) and the float64 temporaries
     # dominate the cost for m in the thousands; probabilities and set
     # sizes are far from the float32 precision limits
     inter = _intersections(membership, membership)
     waste = sizes[None, :] - inter
-    waste *= probs[:, None]
+    waste *= probs32[:, None]
     other = sizes[:, None] - inter
-    other *= probs[None, :]
+    other *= probs32[None, :]
     waste += other
     np.fill_diagonal(waste, 0.0)
     return waste

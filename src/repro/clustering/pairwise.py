@@ -21,10 +21,23 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..grid import CellSet
+from ..kernels import get_backend
 from .base import Clustering, GridClusteringAlgorithm
-from .distance import pairwise_waste_matrix
+from .distance import _count_evals, pairwise_waste_matrix
 
 __all__ = ["PairwiseGroupingClustering", "ApproximatePairwiseClustering"]
+
+
+def _dense_labels(parent: np.ndarray) -> np.ndarray:
+    """Dense group labels from a merge forest (path-compressed roots)."""
+    roots = parent.copy()
+    for idx in range(len(roots)):
+        r = idx
+        while parent[r] != r:
+            r = parent[r]
+        roots[idx] = r
+    _, dense = np.unique(roots, return_inverse=True)
+    return dense.reshape(-1)
 
 
 class _AgglomerativeState:
@@ -34,16 +47,18 @@ class _AgglomerativeState:
         m = len(cells)
         self.cells = cells
         self.active = np.ones(m, dtype=bool)
-        self.membership = cells.membership.copy()
-        # float32 mirror consumed by the merge matmuls; maintained
-        # incrementally so no per-merge dtype conversion is needed
-        self.membership_f32 = self.membership.astype(np.float32)
+        # packed uint64 membership words, mutated in place on merges;
+        # the active kernel backend supplies the AND+popcount sweeps
+        self.kernel = get_backend()
+        self.words = cells.packed.words.copy()
         self.probs = cells.probs.copy().astype(np.float64)
-        self.sizes = self.membership.sum(axis=1).astype(np.float64)
+        self.sizes = self.kernel.popcount_rows(self.words).astype(
+            np.float64
+        )
         self.parent = np.arange(m, dtype=np.int64)
         # full distance matrix with +inf masking for inactive/diagonal
         self.distances = pairwise_waste_matrix(
-            cells.membership, cells.probs
+            cells.membership, cells.probs, packed=cells.packed
         ).astype(np.float32)
         np.fill_diagonal(self.distances, np.inf)
         self.n_active = m
@@ -57,10 +72,11 @@ class _AgglomerativeState:
         """Absorb group ``j`` into group ``i`` and refresh distances."""
         if i == j or not (self.active[i] and self.active[j]):
             raise ValueError("merge requires two distinct active groups")
-        self.membership[i] |= self.membership[j]
-        self.membership_f32[i] = self.membership[i]
+        self.words[i] |= self.words[j]
         self.probs[i] += self.probs[j]
-        self.sizes[i] = float(self.membership[i].sum())
+        self.sizes[i] = float(
+            int(self.kernel.popcount_rows(self.words[i : i + 1])[0])
+        )
         self.active[j] = False
         self.parent[j] = i
         self.n_active -= 1
@@ -74,10 +90,13 @@ class _AgglomerativeState:
         if len(others) == 0:
             self.distances[i, :] = np.inf
             return
-        # one BLAS matvec against the maintained float32 mirror instead
-        # of slicing + converting the boolean rows on every merge
-        inter_all = self.membership_f32 @ self.membership_f32[i]
-        inter = inter_all[others].astype(np.float64)
+        # one AND + popcount sweep over the packed rows of the active
+        # groups; intersection counts are exact integers, so the float
+        # arithmetic below matches the old float32-matvec path bit for
+        # bit
+        inter = self.kernel.intersect_counts(
+            self.words[others], self.words[i]
+        ).astype(np.float64)
         row = self.probs[i] * (self.sizes[others] - inter)
         row += self.probs[others] * (self.sizes[i] - inter)
         self.distances[i, :] = np.inf
@@ -87,14 +106,7 @@ class _AgglomerativeState:
 
     def assignment(self) -> np.ndarray:
         """Dense group labels after all merges (path-compressed roots)."""
-        roots = self.parent.copy()
-        for idx in range(len(roots)):
-            r = idx
-            while self.parent[r] != r:
-                r = self.parent[r]
-            roots[idx] = r
-        _, dense = np.unique(roots, return_inverse=True)
-        return dense.reshape(-1)
+        return _dense_labels(self.parent)
 
 
 class PairwiseGroupingClustering(GridClusteringAlgorithm):
@@ -133,6 +145,19 @@ class PairwiseGroupingClustering(GridClusteringAlgorithm):
 
     def _fit(self, cells: CellSet, n_groups: int) -> Clustering:
         m = len(cells)
+        kernel = get_backend()
+        fused = kernel.pairwise_fit(
+            cells.packed, np.asarray(cells.probs, dtype=np.float64), n_groups
+        )
+        if fused is not None:
+            # a compiled backend ran the whole merge loop in one call
+            # (merge-for-merge identical to the python loop below);
+            # account the same distance-evaluation work: m^2 for the
+            # initial matrix plus the per-merge row recomputes
+            parent, n_merges, n_evals = fused
+            _count_evals(m * m)
+            self._record_fit(merges=n_merges, distance_evals=n_evals)
+            return Clustering(cells, _dense_labels(parent))
         state = _AgglomerativeState(cells)
         distances = state.distances
         rows = np.arange(m)

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry import EventSpace
+from ..kernels import PackedBits, pack_rows
 from ..obs import get_tracer
 from ..workload import SubscriptionSet
 
@@ -85,6 +86,11 @@ class CellSet:
     probs: np.ndarray
     cell_ids: List[np.ndarray]
     hypercell_of_cell: np.ndarray
+    #: lazily built packed-bitset mirror of ``membership`` (see
+    #: :mod:`repro.kernels`); built once and shared by every fit
+    _packed: Optional[PackedBits] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.membership.ndim != 2:
@@ -100,6 +106,18 @@ class CellSet:
     @property
     def n_subscribers(self) -> int:
         return self.membership.shape[1]
+
+    @property
+    def packed(self) -> PackedBits:
+        """Packed uint64 view of ``membership``, built once per cell set.
+
+        The clustering hot paths (pairwise merging, waste evaluation)
+        run on this instead of the boolean matrix; subsets propagate it
+        by row selection so repeated fits never re-pack.
+        """
+        if self._packed is None:
+            self._packed = pack_rows(self.membership)
+        return self._packed
 
     @property
     def sizes(self) -> np.ndarray:
@@ -129,13 +147,16 @@ class CellSet:
             ids = self.cell_ids[old_idx]
             cell_ids.append(ids)
             mapping[ids] = new_idx
-        return CellSet(
+        subset = CellSet(
             space=self.space,
             membership=self.membership[order],
             probs=self.probs[order],
             cell_ids=cell_ids,
             hypercell_of_cell=mapping,
         )
+        if self._packed is not None:
+            subset._packed = self._packed.take(order)
+        return subset
 
 
 def build_cell_set(

@@ -1,0 +1,307 @@
+"""The optional numba-jitted kernel backend.
+
+Importable only when :mod:`numba` is installed; :func:`load_numba_backend`
+returns ``None`` otherwise and backend selection falls back.  The jitted
+kernels mirror ``_native.c`` loop for loop — float32 rounding for the
+initial waste matrix, float64 products cast once to float32 for merge
+rows, sequential float64 accumulation for group masses — so all three
+backends produce byte-identical results (numba's default ``fastmath=False``
+keeps IEEE semantics and performs no FMA contraction).
+
+Popcount uses the SWAR reduction: numba has no ``np.bitwise_count``
+binding, and LLVM pattern-matches the SWAR form to a hardware ``popcnt``
+anyway.  All uint64 constants are wrapped to keep numba's integer typing
+from promoting through float64.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .bitset import PackedBits
+
+__all__ = ["NumbaBackend", "load_numba_backend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba import njit
+except ImportError:  # pragma: no cover
+    numba = None
+    njit = None
+
+
+if njit is not None:  # pragma: no cover - exercised on the numba CI leg
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+    _S1 = np.uint64(1)
+    _S2 = np.uint64(2)
+    _S4 = np.uint64(4)
+    _S56 = np.uint64(56)
+
+    @njit(inline="always")
+    def _popcount(x):
+        x = x - ((x >> _S1) & _M1)
+        x = (x & _M2) + ((x >> _S2) & _M2)
+        x = (x + (x >> _S4)) & _M4
+        return np.int64((x * _H01) >> _S56)
+
+    @njit(inline="always")
+    def _popcount_and(a, b, w):
+        acc = np.int64(0)
+        for k in range(w):
+            acc += _popcount(a[k] & b[k])
+        return acc
+
+    @njit(cache=True)
+    def _popcount_rows(words):
+        m, w = words.shape
+        out = np.empty(m, dtype=np.int64)
+        for i in range(m):
+            out[i] = _popcount_and(words[i], words[i], w)
+        return out
+
+    @njit(cache=True)
+    def _intersect_counts(words, row):
+        m, w = words.shape
+        out = np.empty(m, dtype=np.int64)
+        for i in range(m):
+            out[i] = _popcount_and(words[i], row, w)
+        return out
+
+    @njit(cache=True)
+    def _waste_matrix(words, probs):
+        m, w = words.shape
+        out = np.empty((m, m), dtype=np.float32)
+        sizes = _popcount_rows(words)
+        for i in range(m):
+            szi = np.float32(sizes[i])
+            pi = np.float32(probs[i])
+            out[i, i] = np.float32(0.0)
+            for j in range(i + 1, m):
+                inter = np.float32(_popcount_and(words[i], words[j], w))
+                szj = np.float32(sizes[j])
+                pj = np.float32(probs[j])
+                v = pi * (szj - inter) + pj * (szi - inter)
+                out[i, j] = v
+                out[j, i] = v
+        return out
+
+    @njit(cache=True)
+    def _group_mass(covered, groups, pmf, n_buckets):
+        out = np.zeros(n_buckets, dtype=np.float64)
+        for t in range(len(covered)):
+            cell = covered[t]
+            out[groups[cell]] += pmf[cell]
+        return out
+
+    @njit(cache=True)
+    def _join_score(covered, groups, pmf, group_mass, out):
+        # mirrors _native.c repro_join_score: accumulate the overlap in
+        # covered-cell order, then an ascending strict-< scan over the
+        # positive-overlap groups (np.argmin's first-occurrence rule)
+        n_buckets = out.shape[0]
+        for g in range(n_buckets):
+            out[g] = 0.0
+        for t in range(len(covered)):
+            cell = covered[t]
+            out[groups[cell]] += pmf[cell]
+        best = np.int64(-1)
+        best_score = 0.0
+        for g in range(n_buckets - 1):
+            if out[g] > 0.0:
+                score = group_mass[g] - 2.0 * out[g]
+                if best < 0 or score < best_score:
+                    best = g
+                    best_score = score
+        return best
+
+    @njit(cache=True)
+    def _pairwise_fit(words, probs, n_groups):
+        m, w = words.shape
+        inf = np.float32(np.inf)
+        dist = np.empty((m, m), dtype=np.float32)
+        sizes = np.empty(m, dtype=np.float64)
+        parent = np.empty(m, dtype=np.int64)
+        active = np.empty(m, dtype=np.uint8)
+        nn_idx = np.empty(m, dtype=np.int64)
+        nn_dist = np.empty(m, dtype=np.float32)
+
+        for i in range(m):
+            parent[i] = i
+            active[i] = 1
+            sizes[i] = float(_popcount_and(words[i], words[i], w))
+
+        for i in range(m):
+            szi = np.float32(sizes[i])
+            pi = np.float32(probs[i])
+            dist[i, i] = inf
+            for j in range(i + 1, m):
+                inter = np.float32(_popcount_and(words[i], words[j], w))
+                v = pi * (np.float32(sizes[j]) - inter) + np.float32(
+                    probs[j]
+                ) * (szi - inter)
+                dist[i, j] = v
+                dist[j, i] = v
+
+        for i in range(m):
+            best = 0
+            best_v = dist[i, 0]
+            for t in range(1, m):
+                if dist[i, t] < best_v:
+                    best_v = dist[i, t]
+                    best = t
+            nn_idx[i] = best
+            nn_dist[i] = best_v
+
+        n_active = m
+        n_merges = np.int64(0)
+        n_evals = np.int64(0)
+
+        # Inactive rows/columns are never read (scans skip them and fall
+        # back to (index 0, +inf) exactly like a full-row argmin over
+        # +inf-filled entries), so no O(m) column walks are needed —
+        # same structure as _native.c, byte-identical to the numpy loop.
+        while n_active > n_groups:
+            i = 0
+            best = nn_dist[0] if active[0] else inf
+            for k in range(1, m):
+                v = nn_dist[k] if active[k] else inf
+                if v < best:
+                    best = v
+                    i = k
+            j = nn_idx[i]
+
+            for k in range(w):
+                words[i, k] |= words[j, k]
+            sizes[i] = float(_popcount_and(words[i], words[i], w))
+            probs[i] += probs[j]
+            active[j] = 0
+            parent[j] = i
+            n_active -= 1
+            n_merges += 1
+
+            n_others = n_active - 1
+            n_evals += n_others
+            if n_others > 0:
+                pi = probs[i]
+                szi = sizes[i]
+                for k in range(m):
+                    if active[k] == 0 or k == i:
+                        continue
+                    inter = float(_popcount_and(words[i], words[k], w))
+                    a = pi * (sizes[k] - inter)
+                    b = probs[k] * (szi - inter)
+                    v = np.float32(a + b)
+                    dist[i, k] = v
+                    dist[k, i] = v
+
+            nn_dist[j] = inf
+
+            for k in range(m):
+                if active[k] == 0:
+                    continue
+                if nn_idx[k] == i or nn_idx[k] == j:
+                    best_t = 0
+                    best_v = inf
+                    for t in range(m):
+                        if active[t] != 0 and t != k and dist[k, t] < best_v:
+                            best_v = dist[k, t]
+                            best_t = t
+                    nn_idx[k] = best_t
+                    nn_dist[k] = best_v
+
+            if n_others > 0:
+                for k in range(m):
+                    if active[k] == 0 or k == i:
+                        continue
+                    c = dist[i, k]
+                    if c < nn_dist[k] or (c == nn_dist[k] and i < nn_idx[k]):
+                        nn_idx[k] = i
+                        nn_dist[k] = c
+
+        return parent, n_merges, n_evals
+
+
+class NumbaBackend:  # pragma: no cover - exercised on the numba CI leg
+    """Jitted kernels; same call surface as :class:`NativeBackend`."""
+
+    name = "numba"
+    compiled = True
+
+    def popcount_rows(self, words: np.ndarray) -> np.ndarray:
+        return _popcount_rows(np.ascontiguousarray(words, dtype=np.uint64))
+
+    def intersect_counts(
+        self, words: np.ndarray, row: np.ndarray
+    ) -> np.ndarray:
+        return _intersect_counts(
+            np.ascontiguousarray(words, dtype=np.uint64),
+            np.ascontiguousarray(row, dtype=np.uint64),
+        )
+
+    def waste_matrix(
+        self, packed: PackedBits, probs: np.ndarray
+    ) -> np.ndarray:
+        return _waste_matrix(
+            packed.words, np.ascontiguousarray(probs, dtype=np.float64)
+        )
+
+    def group_mass(
+        self,
+        covered: np.ndarray,
+        cell_group_ext: np.ndarray,
+        cell_pmf: np.ndarray,
+        n_groups: int,
+    ) -> np.ndarray:
+        masses = _group_mass(
+            np.ascontiguousarray(covered, dtype=np.int64),
+            np.ascontiguousarray(cell_group_ext, dtype=np.int64),
+            np.ascontiguousarray(cell_pmf, dtype=np.float64),
+            n_groups + 1,
+        )
+        return masses[:n_groups]
+
+    def group_scorer(
+        self,
+        cell_group_ext: np.ndarray,
+        cell_pmf: np.ndarray,
+        group_mass: np.ndarray,
+    ):
+        """A bound join scorer: ``scorer(covered) -> (group, overlap)``.
+
+        The overlap output buffer is reused between calls; consume it
+        before scoring again.
+        """
+        ext = np.ascontiguousarray(cell_group_ext, dtype=np.int64)
+        pmf = np.ascontiguousarray(cell_pmf, dtype=np.float64)
+        mass = np.ascontiguousarray(group_mass, dtype=np.float64)
+        out = np.zeros(len(mass) + 1, dtype=np.float64)
+        overlap = out[: len(mass)]
+
+        def scorer(covered: np.ndarray):
+            group = _join_score(
+                np.ascontiguousarray(covered, dtype=np.int64),
+                ext, pmf, mass, out,
+            )
+            return int(group), overlap
+
+        return scorer
+
+    def pairwise_fit(self, packed: PackedBits, probs: np.ndarray, n_groups: int):
+        words = np.ascontiguousarray(packed.words).copy()
+        probs = np.array(probs, dtype=np.float64)
+        parent, n_merges, n_evals = _pairwise_fit(
+            words, probs, int(n_groups)
+        )
+        return parent, int(n_merges), int(n_evals)
+
+
+def load_numba_backend() -> Optional[NumbaBackend]:
+    """The jitted backend, or ``None`` when numba is not installed."""
+    if njit is None:
+        return None
+    return NumbaBackend()

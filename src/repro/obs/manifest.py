@@ -39,6 +39,14 @@ def _versions() -> Dict[str, str]:
         versions["repro"] = __version__
     except Exception:  # pragma: no cover - import cycle guard
         pass
+    try:
+        # which membership-kernel backend produced the numbers — bench
+        # artifacts are incomparable across backends of different speed
+        from ..kernels import backend_name
+
+        versions["kernel_backend"] = backend_name()
+    except Exception:  # pragma: no cover - import cycle guard
+        pass
     return versions
 
 

@@ -38,9 +38,14 @@ import numpy as np
 
 from ..broker import ContentBroker
 from ..geometry import Rectangle
+from ..kernels import get_backend
 from ..obs import get_registry
 
 __all__ = ["MaintainerConfig", "ClusterMaintainer"]
+
+#: rectangle-keyed covered-cells fallback cache bound (entries); only
+#: consulted when the broker's per-handle tracking is disabled
+_FOOTPRINT_CACHE_CAP = 4096
 
 #: waste floor used when the last fit had (near-)zero expected waste —
 #: the inflation ratio degenerates there, so drift falls back to the
@@ -87,6 +92,16 @@ class ClusterMaintainer:
     def __post_init__(self) -> None:
         self._cell_group: Optional[np.ndarray] = None
         self._group_mass: Optional[np.ndarray] = None
+        # sentinel-extended group map (unclustered cells -> bucket
+        # n_groups) consumed by the fused group-mass kernel
+        self._cell_group_ext: Optional[np.ndarray] = None
+        # rectangle -> covered flat cells, used only when the broker
+        # does not track per-handle footprints (config.delta_cells off)
+        self._footprints: Dict[Rectangle, np.ndarray] = {}
+        # join scorer bound to the captured fit by the active kernel
+        # backend (rebuilt lazily when either changes)
+        self._scorer = None
+        self._scorer_backend = None
         registry = get_registry()
         self._joins_total = registry.counter(
             "online_joins_total", "incremental subscription joins"
@@ -126,6 +141,11 @@ class ClusterMaintainer:
         )
         self._cell_group = cell_group
         self._group_mass = group_mass
+        self._cell_group_ext = np.ascontiguousarray(
+            np.where(cell_group >= 0, cell_group, n_groups), dtype=np.int64
+        )
+        self._footprints.clear()
+        self._scorer_backend = None
         self.fit_waste = clustering.total_expected_waste()
         self.current_waste = self.fit_waste
         self.captures += 1
@@ -150,11 +170,8 @@ class ClusterMaintainer:
         broker = self.broker
         handle = broker.subscribe(node, rectangle)
         broker.attach(handle)
-        overlap = self._overlap(rectangle)
-        candidates = np.nonzero(overlap > 0)[0]
-        if len(candidates):
-            scores = self._group_mass[candidates] - 2.0 * overlap[candidates]
-            group = int(candidates[np.argmin(scores)])
+        group, overlap = self._score(self._covered(rectangle, handle))
+        if group >= 0:
             broker.apply_join(handle, group)
             self.current_waste += float(
                 self._group_mass[group] - overlap[group]
@@ -175,7 +192,7 @@ class ClusterMaintainer:
         internal = broker.internal_id(handle)
         groups = broker.clustering.groups_of_subscriber(internal)
         if len(groups):
-            overlap = self._overlap(rectangle)
+            _, overlap = self._score(self._covered(rectangle, handle))
             removed = float(
                 np.sum(self._group_mass[groups] - overlap[groups])
             )
@@ -230,6 +247,12 @@ class ClusterMaintainer:
             raise ValueError("cell_group must cover every grid cell")
         self._cell_group = cell_group
         self._group_mass = np.asarray(group_mass, dtype=np.float64)
+        self._cell_group_ext = np.ascontiguousarray(
+            np.where(cell_group >= 0, cell_group, len(self._group_mass)),
+            dtype=np.int64,
+        )
+        self._footprints.clear()
+        self._scorer_backend = None
         self.fit_waste = float(fit_waste)
         self.current_waste = float(current_waste)
         self.joins = int(joins)
@@ -239,16 +262,58 @@ class ClusterMaintainer:
         self._drift_gauge.set(self.inflation)
 
     # ------------------------------------------------------------------
-    def _overlap(self, rectangle: Rectangle) -> np.ndarray:
+    def _covered(
+        self, rectangle: Rectangle, handle: Optional[int]
+    ) -> np.ndarray:
+        """The rectangle's covered grid cells, without re-rasterising.
+
+        The broker's delta-cells tracking already rasterised the
+        rectangle once at subscribe time; joins and leaves reuse that
+        footprint through the handle.  When tracking is off, a bounded
+        rectangle-keyed cache serves repeats.
+        """
+        if handle is not None:
+            cached = self.broker.covered_cells(handle)
+            if cached is not None:
+                return cached
+        covered = self._footprints.get(rectangle)
+        if covered is None:
+            covered = self.broker.space.cells_in_rectangle(rectangle)
+            if len(self._footprints) >= _FOOTPRINT_CACHE_CAP:
+                self._footprints.clear()
+            self._footprints[rectangle] = covered
+        return covered
+
+    def _score(self, covered: np.ndarray):
+        """``(group, overlap)`` of one covered-cells footprint.
+
+        One fused gather+accumulate+argmin over the covered cells via
+        the active backend's bound scorer: the sentinel-extended group
+        map routes unclustered cells to a discarded bucket (no mask
+        temporaries), and the chosen group is the argmin of
+        ``group_mass[g] - 2·overlap[g]`` over positive overlaps (``-1``
+        when nothing overlaps).  Accumulation order (covered-cell order)
+        and the first-occurrence tie-break match the masked
+        ``np.bincount`` + ``np.argmin`` formulation this replaces bit
+        for bit.  The overlap vector may be a reused buffer — consume
+        it before the next scoring call.
+        """
+        backend = get_backend()
+        if self._scorer_backend is not backend:
+            self._scorer = backend.group_scorer(
+                self._cell_group_ext,
+                self.broker.cell_pmf,
+                self._group_mass,
+            )
+            self._scorer_backend = backend
+        return self._scorer(covered)
+
+    def _overlap(
+        self, rectangle: Rectangle, handle: Optional[int] = None
+    ) -> np.ndarray:
         """Per-group publication mass of the rectangle's clustered cells."""
-        covered = self.broker.space.cells_in_rectangle(rectangle)
-        groups = self._cell_group[covered]
-        valid = groups >= 0
-        return np.bincount(
-            groups[valid],
-            weights=self.broker.cell_pmf[covered][valid],
-            minlength=len(self._group_mass),
-        )
+        _, overlap = self._score(self._covered(rectangle, handle))
+        return overlap
 
     def _note_drift(self, now: float) -> None:
         inflation = self.inflation

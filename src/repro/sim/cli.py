@@ -83,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the run and print a per-phase timing table",
     )
     obs.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "native", "numba"),
+        default=None,
+        help="membership kernel backend (default: REPRO_KERNEL_BACKEND "
+        "or auto); unavailable backends fall back to numpy",
+    )
+    obs.add_argument(
         "--trace",
         metavar="PATH",
         help="trace the run and write a JSONL trace (manifest + spans "
@@ -269,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        from ..kernels import set_backend
+
+        set_backend(args.backend)
     profiling = bool(args.profile or args.trace)
     if profiling:
         enable_tracing(clear=True)
@@ -291,6 +302,8 @@ def _report_profile(
     argv: Optional[Sequence[str]],
     wall_seconds: float,
 ) -> None:
+    from ..kernels import backend_name
+
     tracer = get_tracer()
     if args.profile:
         print()
@@ -298,7 +311,8 @@ def _report_profile(
             phase_table(
                 tracer.spans(),
                 title=f"Phase breakdown ({args.command}, "
-                f"{wall_seconds:.3f}s wall)",
+                f"{wall_seconds:.3f}s wall, "
+                f"kernels={backend_name()})",
             )
         )
     if args.trace:
