@@ -32,6 +32,7 @@ from repro.geometry import Rectangle
 from repro.kernels import available_backends, set_backend
 from repro.kernels import backends as _kernel_backends
 from repro.network import RoutingTables
+from repro.obs import bench_stamp
 from repro.online import ClusterMaintainer
 from repro.sim import ExperimentContext, build_evaluation_scenario
 
@@ -208,6 +209,7 @@ def test_kernel_bitset_speedups():
         _kernel_backends._reset_for_testing()
     record["pairwise_fit"] = fit
     record["maintainer_scoring"] = scoring
+    record["stamp"] = bench_stamp()
     BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
 
     print_banner("Packed-bitset kernels (BENCH_kernels_bitset.json)")

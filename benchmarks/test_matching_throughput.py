@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 from repro.matching import RTree, STree
+from repro.obs import bench_stamp
 from repro.sim import build_evaluation_scenario
 from repro.workload import EvaluationSubscriptionModel
 
@@ -193,6 +194,7 @@ def test_batch_pipeline_record(benchmark):
             / current["pairwise_fit_m1500_s"],
         },
     }
+    record["stamp"] = bench_stamp()
     BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
 
     print_banner("Batch pipeline vs seed (BENCH_matching.json)")
@@ -290,6 +292,7 @@ def test_instrumentation_overhead(benchmark, eval_ctx):
         "overhead_ratio": overhead_ratio,
         "best_of": reps,
     }
+    record["stamp"] = bench_stamp()
     BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
 
     print_banner("Instrumentation overhead (warm evaluate_matcher)")

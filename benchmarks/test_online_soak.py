@@ -6,11 +6,19 @@ soak, incremental maintenance with drift-triggered warm refits performs
 churn event, while ending **within 1.1x** of the batch refit's expected
 waste.  The soak's bench record goes to ``BENCH_online.json`` (uploaded
 as a CI artifact).
+
+A second guard covers the flight recorder + SLO engine: replaying the
+same soak with per-event tracing and objective evaluation on must stay
+within a 5% wall-clock budget of the bare run, and must leave every
+virtual-clock delivery stat byte-identical (the recorder only ever
+observes).
 """
 
+import gc
 import json
 from pathlib import Path
 
+from repro.obs import SloEngine, load_slo_spec
 from repro.online import SoakConfig, run_soak, run_rebuild_per_churn_baseline
 
 from conftest import print_banner
@@ -65,4 +73,68 @@ def test_online_beats_rebuild_per_churn():
     result.write_bench(BENCH_PATH)
     record = json.loads(BENCH_PATH.read_text())
     assert record["benchmark"] == "online_soak"
+    assert set(record["stamp"]) == {"git_sha", "created", "kernel_backend"}
     print(f"bench record written to {BENCH_PATH}")
+
+
+#: objectives exercising every signal, thresholds set so the soak stays
+#: clean — the guard measures cost, not alert volume
+_SLO_SPEC = [
+    {"name": "latency-p95", "signal": "latency", "stat": "p95",
+     "threshold": 10.0, "window": 5.0, "stream": "pub"},
+    {"name": "queue-wait-p99", "signal": "queue_wait", "stat": "p99",
+     "threshold": 10.0, "window": 5.0},
+    {"name": "shed-fraction", "signal": "shed_rate", "stat": "mean",
+     "threshold": 1.1, "window": 5.0},
+    {"name": "waste-inflation", "signal": "waste_inflation", "stat": "max",
+     "threshold": 100.0, "window": 10.0},
+    {"name": "lost-rate", "signal": "lost_rate", "stat": "mean",
+     "threshold": 1.1, "window": 5.0},
+]
+
+
+def test_flight_slo_overhead_and_byte_identity():
+    """Flight recording + SLO evaluation: <5% overhead, zero perturbation."""
+    reps = 9  # best-of needs headroom: run-to-run noise exceeds the budget
+    run_soak(CONFIG, finalize=False)  # warm lazy routing state
+    # the guard prices the instruments, not the collector: the observed
+    # run allocates ~9k extra objects, and without freezing, its young
+    # collections also traverse whatever earlier tests left surviving
+    gc.collect()
+    gc.freeze()
+    try:
+        bare_s = observed_s = float("inf")
+        bare = observed = None
+        for _ in range(reps):
+            result = run_soak(CONFIG, finalize=False)
+            if result.wall_seconds < bare_s:
+                bare_s = result.wall_seconds
+            bare = result
+            result = run_soak(
+                CONFIG, finalize=False, flight=True,
+                slo=SloEngine(load_slo_spec(_SLO_SPEC)),
+            )
+            if result.wall_seconds < observed_s:
+                observed_s = result.wall_seconds
+            observed = result
+    finally:
+        gc.unfreeze()
+    overhead_ratio = observed_s / bare_s
+
+    print_banner("Flight recorder + SLO engine overhead")
+    print(f"  observability off {bare_s * 1e3:8.2f} ms (best of {reps})")
+    print(f"  observability on  {observed_s * 1e3:8.2f} ms (best of {reps})")
+    print(f"  overhead          {100 * (overhead_ratio - 1):+8.2f} %")
+    print(f"  flight records    {len(observed.flight_records)}")
+    print(f"  slo breaches      {len(observed.service.slo_breaches)}")
+
+    # the recorder only observes: every virtual-clock stat is identical
+    # (the observed report merely appends SLO lines after the shared
+    # prefix, and only because an engine ran)
+    bare_report = bare.deterministic_report()
+    assert observed.deterministic_report().startswith(bare_report)
+    assert observed.flight_records, "flight recording captured nothing"
+    assert overhead_ratio < 1.05, (
+        f"flight recording + SLO evaluation costs "
+        f"{100 * (overhead_ratio - 1):.1f}% on the soak path (budget: 5%)"
+    )

@@ -22,7 +22,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import disable_tracing, enable_tracing, get_tracer
+from repro.obs import bench_stamp, disable_tracing, enable_tracing, get_tracer
 from repro.sim import (
     ExperimentContext,
     build_evaluation_scenario,
@@ -122,6 +122,7 @@ def test_parallel_sweep_identity_and_speedup(benchmark):
             "serial": [o.seconds for o in serial],
             "parallel": [o.seconds for o in parallel],
         }
+    record["stamp"] = bench_stamp()
     BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
 
     print_banner("Parallel sweep engine (BENCH_sweep.json)")

@@ -26,7 +26,7 @@ from ..geometry import EventSpace, Rectangle
 from ..grid import CellSet, build_cell_set, cell_set_from_membership
 from ..matching import DeliveryPlan, GridMatcher
 from ..network import RoutingTables, unicast_cost
-from ..obs import get_tracer
+from ..obs import get_flight_recorder, get_tracer
 from ..workload import Subscription, SubscriptionSet
 from .rebuild import RebuildScheduler
 from .stats import DeliveryStats
@@ -523,6 +523,22 @@ class ContentBroker:
             return self._publish_degraded(point, publisher)
         plan = self._matcher.match(point)
         plan.validate_complete()
+        flight = get_flight_recorder()
+        recording = flight.active
+        if recording:
+            # healthy path runs per publication: use the recorder's
+            # raw-append protocol (see FlightRecorder.buf)
+            eid = flight.current_event
+            t_now = flight.now
+            buf = flight.buf
+            buf.append((
+                eid, "match", t_now,
+                {
+                    "interested": len(plan.interested),
+                    "groups": len(plan.group_members),
+                    "unicast_legs": len(plan.unicast_subscribers),
+                },
+            ))
         unicast = self._dispatcher.unicast_reference(publisher, plan.interested)
         ideal = self._dispatcher.ideal_reference(publisher, plan.interested)
         if self._policy is not None:
@@ -543,6 +559,32 @@ class ContentBroker:
             mode = "plan"
             used_multicast = plan.uses_multicast
             wasted = plan.wasted_deliveries()
+        if recording:
+            buf.append((
+                eid, "dispatch", t_now,
+                {
+                    "mode": mode, "cost": float(cost),
+                    "multicast": bool(used_multicast),
+                },
+            ))
+            # healthy path: every group's tree is intact, so one
+            # aggregate delivery record suffices
+            buf.append((
+                eid, "deliver", t_now,
+                {
+                    "outcome": "delivered",
+                    "groups": len(plan.group_members),
+                    "wasted": int(wasted),
+                },
+            ))
+            if len(plan.unicast_subscribers):
+                buf.append((
+                    eid, "unicast", t_now,
+                    {
+                        "legs": len(plan.unicast_subscribers),
+                        "fallback": False,
+                    },
+                ))
         receipt = DeliveryReceipt(
             n_interested=len(plan.interested),
             used_multicast=used_multicast,
@@ -572,6 +614,14 @@ class ContentBroker:
         """
         plan = self._matcher.match(point)
         plan.validate_complete()
+        flight = get_flight_recorder()
+        if flight.active:
+            flight.stage(
+                "match",
+                interested=len(plan.interested),
+                groups=len(plan.group_members),
+                unicast_legs=len(plan.unicast_subscribers),
+            )
         failed = self.routing.failed_nodes
         all_nodes = self._subscriptions.subscriber_nodes
         interested = np.asarray(plan.interested, dtype=np.int64)
@@ -579,6 +629,11 @@ class ContentBroker:
 
         if publisher in failed:
             # nothing leaves a down publisher: the whole audience is lost
+            if flight.active:
+                flight.stage(
+                    "deliver", outcome="lost", cause="publisher_down",
+                    lost=n_interested,
+                )
             receipt = DeliveryReceipt(
                 n_interested, False, 0.0, 0.0, 0.0, 0,
                 mode="fault", outcome="lost", lost_deliveries=n_interested,
@@ -600,6 +655,11 @@ class ContentBroker:
         n_lost = n_interested - len(reachable_int)
 
         if n_interested and len(reachable_int) == 0:
+            if flight.active:
+                flight.stage(
+                    "deliver", outcome="lost", cause="audience_unreachable",
+                    lost=n_lost,
+                )
             receipt = DeliveryReceipt(
                 n_interested, False, 0.0, 0.0, 0.0, 0,
                 mode="fault", outcome="lost", lost_deliveries=n_lost,
@@ -623,14 +683,20 @@ class ContentBroker:
         degraded_groups = 0
         covered_nodes: List[np.ndarray] = []
         covered_subs: List[np.ndarray] = []
-        for members in plan.group_members:
+        for group_index, members in enumerate(plan.group_members):
             members = np.asarray(members, dtype=np.int64)
             group_nodes = self._dispatcher.group_nodes(members)
             live = ok_node[group_nodes]
             if live.all():
-                total += self._dispatcher.group_cost(publisher, group_nodes)
+                leg = self._dispatcher.group_cost(publisher, group_nodes)
+                total += leg
                 covered_nodes.append(group_nodes)
                 covered_subs.append(members)
+                if flight.active:
+                    flight.stage(
+                        "deliver", group=group_index, outcome="live",
+                        members=int(len(members)), cost=float(leg),
+                    )
             else:
                 # the group's tree traversed a failed element: per-member
                 # unicast to whoever is still reachable
@@ -641,6 +707,13 @@ class ContentBroker:
                 fallback_cost += leg
                 covered_nodes.append(live_nodes)
                 covered_subs.append(members[ok_node[all_nodes[members]]])
+                if flight.active:
+                    flight.stage(
+                        "deliver", group=group_index, outcome="fallback",
+                        members=int(len(members)),
+                        reachable_nodes=int(len(live_nodes)),
+                        cost=float(leg),
+                    )
         uni_subs = np.asarray(plan.unicast_subscribers, dtype=np.int64)
         if len(uni_subs):
             live_uni = uni_subs[ok_node[all_nodes[uni_subs]]]
@@ -648,8 +721,15 @@ class ContentBroker:
             if covered_nodes:
                 already = np.unique(np.concatenate(covered_nodes))
                 uni_nodes = np.setdiff1d(uni_nodes, already)
-            total += unicast_cost(self.routing, publisher, uni_nodes)
+            leg = unicast_cost(self.routing, publisher, uni_nodes)
+            total += leg
             covered_subs.append(live_uni)
+            if flight.active:
+                flight.stage(
+                    "unicast", legs=int(len(live_uni)),
+                    nodes=int(len(uni_nodes)), cost=float(leg),
+                    fallback=True,
+                )
 
         if covered_subs:
             delivered_to = np.unique(np.concatenate(covered_subs))
@@ -660,6 +740,12 @@ class ContentBroker:
             "degraded" if (degraded_groups or n_lost) else "delivered"
         )
         used_multicast = len(plan.group_members) > degraded_groups
+        if flight.active:
+            flight.stage(
+                "dispatch", mode="fault", cost=float(total),
+                outcome=outcome, lost=int(n_lost),
+                degraded_groups=int(degraded_groups),
+            )
         receipt = DeliveryReceipt(
             n_interested=n_interested,
             used_multicast=used_multicast,

@@ -27,7 +27,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..broker import BrokerConfig, ContentBroker
-from ..obs import get_tracer
+from ..obs import (
+    FlightRecorder,
+    get_flight_recorder,
+    get_tracer,
+    set_flight_recorder,
+)
+from ..obs.slo import SloEngine
 from ..workload import PublicationEvent
 from .report import DegradationReport
 from .schedule import FaultSchedule
@@ -45,12 +51,18 @@ class ChaosRunner:
         config: Optional[BrokerConfig] = None,
         n_events: int = 100,
         seed: int = 0,
+        flight: bool = False,
+        slo: Optional[SloEngine] = None,
     ) -> None:
         self.scenario = scenario
         self.schedule = schedule if schedule is not None else FaultSchedule()
         self.config = config or BrokerConfig()
         self.n_events = n_events
         self.seed = seed
+        #: record per-publication flight chains (cause chains for every
+        #: degraded or lost publication land in the report)
+        self.flight = flight
+        self.slo = slo
         self.broker: Optional[ContentBroker] = None
         self._live_handles: List[int] = []
         self._join_rng = np.random.default_rng(seed + 2)
@@ -64,6 +76,8 @@ class ChaosRunner:
         config_kwargs: Optional[dict] = None,
         n_events: int = 100,
         seed: int = 0,
+        flight: bool = False,
+        slo_spec: Optional[Sequence[dict]] = None,
     ) -> "ChaosRunner":
         """Build a runner from plain, picklable parameters.
 
@@ -73,9 +87,13 @@ class ChaosRunner:
         rebuilt from the same seed.  ``scenario_kwargs`` goes to
         :func:`repro.sim.build_preliminary_scenario`; ``events`` is the
         schedule as :meth:`FaultSchedule.as_dicts` records (``None`` or
-        empty plus a horizon is the no-fault baseline).
+        empty plus a horizon is the no-fault baseline); ``slo_spec`` is
+        a list of objective dictionaries (see
+        :func:`repro.obs.load_slo_spec`) — a private engine is built in
+        the worker and its output travels back on the report.
         """
         from ..broker import BrokerConfig
+        from ..obs.slo import load_slo_spec
         from ..sim.scenario import build_preliminary_scenario
         from .schedule import FaultEvent
 
@@ -85,8 +103,14 @@ class ChaosRunner:
             horizon=horizon or None,
         )
         config = BrokerConfig(**dict(config_kwargs or {}))
+        slo = (
+            SloEngine(load_slo_spec([dict(entry) for entry in slo_spec]))
+            if slo_spec
+            else None
+        )
         return cls(
-            scenario, schedule, config=config, n_events=n_events, seed=seed
+            scenario, schedule, config=config, n_events=n_events, seed=seed,
+            flight=flight, slo=slo,
         )
 
     # ------------------------------------------------------------------
@@ -125,21 +149,68 @@ class ChaosRunner:
             n_faults=self.schedule.counts(),
         )
         start = time.perf_counter()
-        for now, _, payload in timeline:
-            if isinstance(payload, PublicationEvent):
-                receipt = broker.publish(payload.point, payload.publisher, now=now)
-                report.n_publications += 1
-                report.per_event_costs.append(float(receipt.cost))
-                if receipt.outcome == "delivered":
-                    report.n_delivered += 1
-                elif receipt.outcome == "degraded":
-                    report.n_degraded += 1
+        # per-publication causal tracing: a private recorder is swapped
+        # in as the process default so the broker's flight stages land
+        # here, scoped by publication index — the degradation report's
+        # cause chains travel with it (picklable), so serial and
+        # parallel replays stay byte-identical
+        recorder = FlightRecorder(enabled=self.flight)
+        previous_recorder = get_flight_recorder()
+        if self.flight:
+            set_flight_recorder(recorder)
+        try:
+            pub_index = 0
+            for now, _, payload in timeline:
+                if isinstance(payload, PublicationEvent):
+                    if self.flight:
+                        with recorder.event(pub_index, now):
+                            receipt = broker.publish(
+                                payload.point, payload.publisher, now=now
+                            )
+                    else:
+                        receipt = broker.publish(
+                            payload.point, payload.publisher, now=now
+                        )
+                    report.n_publications += 1
+                    report.per_event_costs.append(float(receipt.cost))
+                    if receipt.outcome == "delivered":
+                        report.n_delivered += 1
+                    elif receipt.outcome == "degraded":
+                        report.n_degraded += 1
+                    else:
+                        report.n_lost += 1
+                    if self.slo is not None:
+                        self.slo.observe(
+                            "lost_rate", now,
+                            receipt.lost_deliveries
+                            / max(1, receipt.n_interested),
+                            stream="pub",
+                        )
+                    if self.flight and receipt.outcome != "delivered":
+                        report.cause_chains.append(
+                            {
+                                "index": pub_index,
+                                "time": now,
+                                "outcome": receipt.outcome,
+                                "down_nodes": sorted(down_nodes),
+                                "down_links": sorted(
+                                    list(link) for link in down_links
+                                ),
+                                "stages": recorder.take_chain(pub_index),
+                            }
+                        )
+                    elif self.flight:
+                        # delivered publications don't need a chain;
+                        # drop theirs so the recorder stays bounded
+                        recorder.take_chain(pub_index)
+                    pub_index += 1
                 else:
-                    report.n_lost += 1
-            else:
-                self._apply_fault(
-                    broker, routing, payload, now, down_nodes, down_links
-                )
+                    self._apply_fault(
+                        broker, routing, payload, now, down_nodes, down_links
+                    )
+        finally:
+            if self.flight:
+                set_flight_recorder(previous_recorder)
 
         # end-of-horizon recovery: heal whatever the schedule left down,
         # then re-cluster once, cold, on the pristine topology
@@ -153,6 +224,12 @@ class ChaosRunner:
         broker.rebuild(full=True)
 
         stats = broker.stats
+        try:
+            from ..kernels import backend_name
+
+            report.kernel_backend = backend_name()
+        except Exception:  # pragma: no cover - import cycle guard
+            report.kernel_backend = "unknown"
         report.expected_deliveries = stats.expected_deliveries
         report.lost_deliveries = stats.lost_deliveries
         report.availability = stats.availability
@@ -162,6 +239,9 @@ class ChaosRunner:
         report.n_rebuilds = stats.n_rebuilds
         report.n_full_rebuilds = stats.n_full_rebuilds
         report.total_rebuild_seconds = stats.total_rebuild_seconds
+        if self.slo is not None:
+            report.slo_breaches = self.slo.breach_dicts()
+            report.slo_summary = self.slo.summary()
         # conservation check: the runner itself refuses to report a run
         # in which a publication escaped the accounting
         assert report.silently_lost == 0, (

@@ -43,9 +43,23 @@ class DegradationReport:
     n_rebuilds: int = 0
     n_full_rebuilds: int = 0
     total_rebuild_seconds: float = 0.0
+    # provenance (run manifests carry these too, but the JSONL report
+    # must stand alone once split from its manifest)
+    kernel_backend: str = ""
+    workers: int = 1
     #: per-publication delivery costs, in publish order (byte-identity
     #: checks compare these arrays across runs)
     per_event_costs: List[float] = field(default_factory=list)
+    #: flight-recorder cause chains of non-delivered publications, in
+    #: publish order: {"index", "time", "outcome", "down_nodes",
+    #: "down_links", "stages": [...]} — empty unless the runner recorded
+    #: flight data
+    cause_chains: List[Dict] = field(default_factory=list)
+    #: SLO engine output (breach records + per-objective summary rows);
+    #: empty unless the runner evaluated objectives.  Lives on the
+    #: report so it crosses the worker-process boundary with it.
+    slo_breaches: List[Dict] = field(default_factory=list)
+    slo_summary: List[Dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -91,11 +105,16 @@ class DegradationReport:
             "n_full_rebuilds": self.n_full_rebuilds,
             "total_rebuild_seconds": self.total_rebuild_seconds,
             "mean_rebuild_seconds": self.mean_rebuild_seconds,
+            "kernel_backend": self.kernel_backend,
+            "workers": self.workers,
+            "n_cause_chains": len(self.cause_chains),
+            "n_slo_breaches": len(self.slo_breaches),
         }
 
     def write_jsonl(self, path, manifest=None) -> int:
         """Append-friendly JSONL export: optional manifest record first,
-        then the report, then one record per publication cost."""
+        then the report, one record per publication cost, and one
+        ``cause_chain`` record per non-delivered publication."""
         records: List[Dict] = []
         if manifest is not None:
             records.append({"kind": "manifest", **manifest.as_dict()})
@@ -104,6 +123,10 @@ class DegradationReport:
             records.append(
                 {"kind": "publication", "index": index, "cost": cost}
             )
+        for chain in self.cause_chains:
+            records.append({"kind": "cause_chain", **chain})
+        for breach in self.slo_breaches:
+            records.append({"kind": "slo_breach", **breach})
         with open(path, "w") as handle:
             for record in records:
                 handle.write(json.dumps(record))

@@ -22,7 +22,8 @@ stats) are backed by them.
 """
 
 from .export import export_records, read_jsonl, write_jsonl
-from .manifest import RunManifest
+from .flight import FlightRecorder, StageRecord, stage_latencies
+from .manifest import RunManifest, bench_stamp
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -30,6 +31,8 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .openmetrics import render_openmetrics
+from .slo import Objective, SloBreach, SloEngine, load_slo_spec
 from .trace import Span, Tracer, aggregate_spans
 
 __all__ = [
@@ -41,16 +44,28 @@ __all__ = [
     "Span",
     "Tracer",
     "aggregate_spans",
+    "FlightRecorder",
+    "StageRecord",
+    "stage_latencies",
+    "Objective",
+    "SloBreach",
+    "SloEngine",
+    "load_slo_spec",
+    "render_openmetrics",
     "RunManifest",
+    "bench_stamp",
     "export_records",
     "write_jsonl",
     "read_jsonl",
     "REGISTRY",
     "TRACER",
+    "FLIGHT",
     "get_registry",
     "get_tracer",
+    "get_flight_recorder",
     "set_registry",
     "set_tracer",
+    "set_flight_recorder",
     "reset_worker_state",
     "enable_tracing",
     "disable_tracing",
@@ -62,6 +77,10 @@ REGISTRY = MetricsRegistry()
 #: the process-wide default tracer (disabled until a profiling entry
 #: point — CLI flag, benchmark, example — enables it)
 TRACER = Tracer(enabled=False)
+
+#: the process-wide default flight recorder (disabled until a serve/
+#: chaos entry point enables per-event recording)
+FLIGHT = FlightRecorder(enabled=False)
 
 
 def get_registry() -> MetricsRegistry:
@@ -88,8 +107,21 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return tracer
 
 
-def reset_worker_state(tracing: bool = False) -> None:
-    """Install a fresh registry and tracer (worker-process start hook).
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide default flight recorder."""
+    return FLIGHT
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Install ``recorder`` as the process-wide default."""
+    global FLIGHT
+    FLIGHT = recorder
+    return recorder
+
+
+def reset_worker_state(tracing: bool = False, flight: bool = False) -> None:
+    """Install a fresh registry, tracer, and flight recorder (worker-process
+    start hook).
 
     A forked worker inherits copies of the parent's instruments and
     recorded spans; if it kept recording into those, its end-of-task
@@ -101,6 +133,7 @@ def reset_worker_state(tracing: bool = False) -> None:
     """
     set_registry(MetricsRegistry())
     set_tracer(Tracer(enabled=tracing))
+    set_flight_recorder(FlightRecorder(enabled=flight))
 
 
 def enable_tracing(clear: bool = True) -> Tracer:

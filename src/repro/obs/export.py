@@ -6,7 +6,10 @@ One JSON object per line, each tagged with a ``"kind"`` field:
 * ``{"kind": "span", ...}`` — one per finished span (see
   :meth:`repro.obs.Span.as_dict`);
 * ``{"kind": "metric", ...}`` — one per labeled instrument child (see
-  :meth:`repro.obs.MetricsRegistry.snapshot`).
+  :meth:`repro.obs.MetricsRegistry.snapshot`);
+* ``{"kind": "flight", ...}`` — one per flight-recorder stage record
+  (see :meth:`repro.obs.StageRecord.as_dict`), when a recorder with
+  records is passed.
 
 The format is append-friendly and diff-able: traces of two runs of the
 same sweep line up record-for-record, which is what makes cross-PR
@@ -18,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from .flight import FlightRecorder
 from .manifest import RunManifest
 from .metrics import MetricsRegistry
 from .trace import Tracer
@@ -29,6 +33,7 @@ def export_records(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
     manifest: Optional[RunManifest] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> List[Dict]:
     """Flatten the given sources into tagged JSONL-ready records."""
     records: List[Dict] = []
@@ -40,6 +45,9 @@ def export_records(
     if registry is not None:
         for sample in registry.snapshot():
             records.append({"kind": "metric", **sample})
+    if flight is not None:
+        for record in flight.as_dicts():
+            records.append({"kind": "flight", **record})
     return records
 
 
@@ -48,10 +56,11 @@ def write_jsonl(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
     manifest: Optional[RunManifest] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> int:
     """Write the sources to ``path``; returns the number of records."""
     records = export_records(
-        tracer=tracer, registry=registry, manifest=manifest
+        tracer=tracer, registry=registry, manifest=manifest, flight=flight
     )
     with open(path, "w") as handle:
         for record in records:

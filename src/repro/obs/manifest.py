@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import os
 import platform
+import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["RunManifest"]
+__all__ = ["RunManifest", "bench_stamp"]
 
 
 def _versions() -> Dict[str, str]:
@@ -48,6 +49,42 @@ def _versions() -> Dict[str, str]:
     except Exception:  # pragma: no cover - import cycle guard
         pass
     return versions
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except Exception:
+        pass
+    return "unknown"
+
+
+def bench_stamp() -> Dict[str, str]:
+    """Provenance stamp for ``BENCH_*.json`` records.
+
+    Every benchmark emitter merges this in so the bench trajectory is
+    comparable across PRs: which commit, when, and which kernel backend
+    produced the numbers.
+    """
+    try:
+        from ..kernels import backend_name
+
+        backend = backend_name()
+    except Exception:  # pragma: no cover - import cycle guard
+        backend = "unknown"
+    return {
+        "git_sha": _git_sha(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "kernel_backend": backend,
+    }
 
 
 @dataclass

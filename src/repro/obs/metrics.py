@@ -16,6 +16,7 @@ All mutation is thread-safe.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -229,6 +230,31 @@ class _HistogramChild:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def _quantile_locked(self, q: float) -> Optional[float]:
+        """Exact-over-bounds quantile estimate (caller holds the lock).
+
+        The observation of rank ``ceil(q * count)`` fell in some bucket;
+        its upper bound — clamped to the recorded ``[min, max]`` — is the
+        tightest value the bucket layout can certify.  No interpolation,
+        no dependencies, deterministic for a given stream of observes.
+        """
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for idx, bound in enumerate(self._bounds):
+            cumulative += self._buckets[idx]
+            if cumulative >= rank:
+                return min(max(bound, self.min), self.max)
+        return self.max
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0 < q <= 1), or ``None`` when empty."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        with self._lock:
+            return self._quantile_locked(q)
+
     def merge(self, sample: Mapping) -> None:
         """Fold another child's sample into this one.
 
@@ -271,6 +297,9 @@ class _HistogramChild:
                 "min": None if empty else self.min,
                 "max": None if empty else self.max,
                 "mean": 0.0 if empty else self.sum / self.count,
+                "p50": self._quantile_locked(0.50),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
                 "buckets": {
                     **{
                         f"le_{bound:g}": count
@@ -302,6 +331,9 @@ class Histogram(_Instrument):
 
     def observe(self, value: float, **labels: object) -> None:
         self.labels(**labels).observe(value)
+
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        return self.labels(**labels).quantile(q)
 
 
 class MetricsRegistry:

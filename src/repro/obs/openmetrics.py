@@ -1,0 +1,163 @@
+"""OpenMetrics / Prometheus text exposition for the metrics registry.
+
+Renders :meth:`MetricsRegistry.snapshot` into the OpenMetrics text
+format — ``# TYPE`` headers, counter families named without their
+``_total`` suffix, cumulative ``_bucket{le="..."}`` series recovered
+from the registry's per-bucket counts, ``_sum``/``_count``, and a
+terminating ``# EOF`` — with one repo-specific extension: each
+histogram also exposes a ``<family>_quantile`` gauge family carrying
+the exact-over-bounds p50/p95/p99 summaries, so scrape-side dashboards
+get quantiles without PromQL ``histogram_quantile`` interpolation
+error.
+
+Output is fully deterministic: families and series are sorted, floats
+are formatted with :func:`repr`-stable rules, and no wall-clock
+timestamps are emitted.  Two runs of the same seeded scenario produce
+byte-identical expositions — which CI exploits to diff them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["render_openmetrics"]
+
+#: histogram quantiles exposed as the ``_quantile`` summary family
+QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    """Decimal rendering: integers bare, floats via repr (shortest
+    round-trip form — deterministic across runs and platforms)."""
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _labels(labels: Mapping[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = sorted(labels.items()) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _bucket_bounds(buckets: Mapping[str, int]) -> List[Tuple[float, str, int]]:
+    """Sorted (bound, le-label, per-bucket count) triples, +Inf last."""
+    out = []
+    for key, count in buckets.items():
+        if key == "le_inf":
+            out.append((float("inf"), "+Inf", int(count)))
+        else:
+            bound = float(key[3:])
+            out.append((bound, f"{bound:g}", int(count)))
+    out.sort(key=lambda item: item[0])
+    return out
+
+
+def render_openmetrics(
+    source: Union[MetricsRegistry, Iterable[Mapping]],
+    descriptions: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a registry (or its snapshot records) as OpenMetrics text."""
+    if isinstance(source, MetricsRegistry):
+        if descriptions is None:
+            descriptions = {
+                inst.name: inst.description
+                for inst in source.instruments()
+                if inst.description
+            }
+        records = source.snapshot()
+    else:
+        records = list(source)
+    descriptions = descriptions or {}
+
+    # group snapshot records into families, preserving per-family kind
+    families: Dict[str, Dict] = {}
+    for record in records:
+        name = record.get("name")
+        if not name:
+            continue
+        family = families.setdefault(
+            name, {"kind": record.get("type", "gauge"), "samples": []}
+        )
+        family["samples"].append(record)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        kind = family["kind"]
+        samples = sorted(
+            family["samples"],
+            key=lambda r: sorted((r.get("labels") or {}).items()),
+        )
+        if kind == "counter":
+            # OpenMetrics: the family drops the _total suffix, the
+            # sample keeps it
+            base = name[:-6] if name.endswith("_total") else name
+            description = descriptions.get(name)
+            if description:
+                lines.append(f"# HELP {base} {_escape(description)}")
+            lines.append(f"# TYPE {base} counter")
+            sample_name = base + "_total"
+            for record in samples:
+                labels = _labels(record.get("labels") or {})
+                lines.append(
+                    f"{sample_name}{labels} {_fmt(record.get('value', 0.0))}"
+                )
+        elif kind == "gauge":
+            description = descriptions.get(name)
+            if description:
+                lines.append(f"# HELP {name} {_escape(description)}")
+            lines.append(f"# TYPE {name} gauge")
+            for record in samples:
+                labels = _labels(record.get("labels") or {})
+                lines.append(
+                    f"{name}{labels} {_fmt(record.get('value', 0.0))}"
+                )
+        elif kind == "histogram":
+            description = descriptions.get(name)
+            if description:
+                lines.append(f"# HELP {name} {_escape(description)}")
+            lines.append(f"# TYPE {name} histogram")
+            quantile_lines: List[str] = []
+            for record in samples:
+                label_map = record.get("labels") or {}
+                cumulative = 0
+                for _, le, count in _bucket_bounds(
+                    record.get("buckets") or {}
+                ):
+                    cumulative += count
+                    labels = _labels(label_map, (("le", le),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                plain = _labels(label_map)
+                lines.append(f"{name}_sum{plain} {_fmt(record.get('sum', 0.0))}")
+                lines.append(
+                    f"{name}_count{plain} {_fmt(record.get('count', 0))}"
+                )
+                for quantile, stat in QUANTILES:
+                    value = record.get(stat)
+                    if value is None:
+                        continue
+                    labels = _labels(label_map, (("quantile", quantile),))
+                    quantile_lines.append(
+                        f"{name}_quantile{labels} {_fmt(value)}"
+                    )
+            if quantile_lines:
+                lines.append(f"# TYPE {name}_quantile gauge")
+                lines.extend(quantile_lines)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

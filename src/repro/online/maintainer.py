@@ -39,7 +39,7 @@ import numpy as np
 from ..broker import ContentBroker
 from ..geometry import Rectangle
 from ..kernels import get_backend
-from ..obs import get_registry
+from ..obs import get_flight_recorder, get_registry
 
 __all__ = ["MaintainerConfig", "ClusterMaintainer"]
 
@@ -180,6 +180,12 @@ class ClusterMaintainer:
             self.unassigned_joins += 1
         self.joins += 1
         self._joins_total.inc()
+        flight = get_flight_recorder()
+        if flight.active:
+            flight.stage(
+                "join", node=node, group=int(group),
+                assigned=bool(group >= 0), inflation=self.inflation,
+            )
         self._note_drift(now)
         return handle
 
@@ -201,6 +207,12 @@ class ClusterMaintainer:
         broker.unsubscribe(handle)
         self.leaves += 1
         self._leaves_total.inc()
+        flight = get_flight_recorder()
+        if flight.active:
+            flight.stage(
+                "leave", node=node, groups=int(len(groups)),
+                inflation=self.inflation,
+            )
         self._note_drift(now)
 
     def maybe_rebuild(self, now: float) -> bool:
@@ -209,8 +221,15 @@ class ClusterMaintainer:
         Returns True when a (warm-started, drift-triggered) rebuild ran;
         the maintainer re-bases itself on the new fit.
         """
+        inflation_before = self.inflation
         if self.broker.tick(now):
             self.capture()
+            flight = get_flight_recorder()
+            if flight.active:
+                flight.stage(
+                    "rebuild", inflation_before=inflation_before,
+                    fits=self.captures,
+                )
             return True
         return False
 

@@ -92,6 +92,14 @@ class BoundedQueue:
         #: admitted entries later evicted by a shed policy — the service
         #: folds these into its per-stream shed accounting
         self.evicted = 0
+        #: reason of the most recent shed ("rate"/"capacity"/"priority");
+        #: the flight recorder reads it right after a refused offer
+        self.last_shed_reason: Optional[str] = None
+        #: when True, evictions are logged as (time, item, reason) for
+        #: :meth:`take_evictions` (the flight recorder / SLO engine turn
+        #: this on; off by default so unobserved runs don't accumulate)
+        self.record_evictions = False
+        self._evictions: List[Tuple[float, Any, str]] = []
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -143,9 +151,10 @@ class BoundedQueue:
             if self.config.policy == "block":
                 return False, now + wait
             self._shed.inc(queue=self.name, reason="rate")
+            self.last_shed_reason = "rate"
             return False, now
         if len(self._items) >= self.config.capacity:
-            if not self._evict(item, priority):
+            if not self._evict(item, priority, now):
                 if self.config.policy == "block":
                     # give the token back: the arrival will be re-offered
                     if self.config.rate is not None:
@@ -157,6 +166,7 @@ class BoundedQueue:
                     else "capacity"
                 )
                 self._shed.inc(queue=self.name, reason=reason)
+                self.last_shed_reason = reason
                 return False, now
         self._items.append((now, priority, self._seq, item))
         self._seq += 1
@@ -166,7 +176,7 @@ class BoundedQueue:
         self._depth_peak = max(self._depth_peak, depth)
         return True, now
 
-    def _evict(self, item: Any, priority: int) -> bool:
+    def _evict(self, item: Any, priority: int, now: float) -> bool:
         """Make room under a shed policy; False means the queue stays
         full (block, or the arrival itself is the lowest priority)."""
         if self.config.policy == "shed-oldest":
@@ -174,9 +184,11 @@ class BoundedQueue:
                 range(len(self._items)),
                 key=lambda i: (self._items[i][0], self._items[i][2]),
             )
-            self._items.pop(victim)
+            entry = self._items.pop(victim)
             self.evicted += 1
             self._shed.inc(queue=self.name, reason="capacity")
+            if self.record_evictions:
+                self._evictions.append((now, entry[3], "capacity"))
             return True
         if self.config.policy == "shed-lowest-priority":
             victim = min(
@@ -190,11 +202,21 @@ class BoundedQueue:
             if self._items[victim][1] >= priority:
                 # nothing queued outranks the arrival downward: shed it
                 return False
-            self._items.pop(victim)
+            entry = self._items.pop(victim)
             self.evicted += 1
             self._shed.inc(queue=self.name, reason="priority")
+            if self.record_evictions:
+                self._evictions.append((now, entry[3], "priority"))
             return True
         return False
+
+    def take_evictions(self) -> List[Tuple[float, Any, str]]:
+        """Drain the (time, item, reason) log of policy evictions."""
+        if not self._evictions:
+            return []
+        taken = self._evictions
+        self._evictions = []
+        return taken
 
     def pop(self) -> Tuple[float, int, int, Any]:
         """Remove and return the earliest-admitted entry."""

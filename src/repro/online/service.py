@@ -37,7 +37,8 @@ import numpy as np
 
 from ..broker import ContentBroker
 from ..geometry import Rectangle
-from ..obs import get_registry
+from ..obs import get_flight_recorder, get_registry
+from ..obs.slo import SloEngine
 from .maintainer import ClusterMaintainer
 from .queues import BoundedQueue, QueueConfig
 
@@ -138,6 +139,10 @@ class ServiceResult:
     )
     total_cost: float = 0.0
     horizon: float = 0.0
+    #: rising-edge SLO breach records (empty without an engine)
+    slo_breaches: List[Dict] = field(default_factory=list)
+    #: one summary row per objective (empty without an engine)
+    slo_summary: List[Dict] = field(default_factory=list)
 
     def all_latencies(self) -> List[float]:
         out: List[float] = []
@@ -163,12 +168,28 @@ class BrokerService:
         broker: ContentBroker,
         maintainer: ClusterMaintainer,
         config: Optional[ServiceConfig] = None,
+        slo: Optional[SloEngine] = None,
     ) -> None:
         if maintainer.broker is not broker:
             raise ValueError("maintainer must wrap the same broker")
         self.broker = broker
         self.maintainer = maintainer
         self.config = config or ServiceConfig()
+        self.slo = slo
+        if (
+            slo is not None
+            and slo.drift_sink is None
+            and any(o.feed_drift for o in slo.objectives)
+        ):
+            # an SLO breach becomes an adaptation signal: report the
+            # broker's own drift threshold so the next backoff-gated
+            # tick declares a rebuild due (no-op when the broker runs
+            # without a drift trigger)
+            threshold = broker.config.drift_threshold
+            if threshold is not None:
+                slo.drift_sink = (
+                    lambda breach: broker.note_drift(breach.time, threshold)
+                )
         self._queues: Dict[str, BoundedQueue] = {
             "fault": BoundedQueue("fault", self.config.fault_queue),
             "churn": BoundedQueue("churn", self.config.churn_queue),
@@ -191,6 +212,7 @@ class BrokerService:
         )
         self._down_nodes: set = set()
         self._down_links: set = set()
+        self._flight = get_flight_recorder()
 
     # ------------------------------------------------------------------
     def run(self, events: Sequence[StreamEvent]) -> ServiceResult:
@@ -200,6 +222,10 @@ class BrokerService:
         result.n_shed = {name: 0 for name in self._queues}
         result.latencies = {name: [] for name in self._queues}
         self._result = result
+        self._flight = get_flight_recorder()
+        observing = self._flight.enabled or self.slo is not None
+        for queue in self._queues.values():
+            queue.record_evictions = observing
         fits_before = self.maintainer.captures
         rebuilds_before = self.broker.stats.n_rebuilds
         evicted_before = {
@@ -223,9 +249,8 @@ class BrokerService:
             offer_at, rank, seq, arrived, event = heapq.heappop(heap)
             self._drain(until=offer_at)
             queue = self._queues[event.stream]
-            admitted, effective = queue.offer(
-                (arrived, event), offer_at,
-                priority=_STREAM_PRIORITY[event.stream],
+            admitted, effective = self._offer(
+                queue, arrived, seq, event, offer_at
             )
             if admitted:
                 continue
@@ -242,6 +267,9 @@ class BrokerService:
                 )
             else:
                 result.n_shed[event.stream] += 1
+                self._note_shed(
+                    seq, event, offer_at, queue.last_shed_reason
+                )
         self._drain(until=math.inf)
         # producers still capacity-blocked at end of input: admit them in
         # waves (the drained queues are empty, so only the token bucket
@@ -252,14 +280,13 @@ class BrokerService:
                 while stalled and len(queue) < queue.config.capacity:
                     ready, arrived, seq, event = heapq.heappop(stalled)
                     when = max(ready, self.busy_until)
-                    priority = _STREAM_PRIORITY[event.stream]
-                    admitted, effective = queue.offer(
-                        (arrived, event), when, priority=priority
+                    admitted, effective = self._offer(
+                        queue, arrived, seq, event, when
                     )
                     if not admitted:
-                        admitted, _ = queue.offer(
-                            (arrived, event), max(effective, when),
-                            priority=priority,
+                        admitted, _ = self._offer(
+                            queue, arrived, seq, event,
+                            max(effective, when),
                         )
                         assert admitted, "stalled arrival failed to admit"
             self._drain(until=math.inf)
@@ -280,7 +307,68 @@ class BrokerService:
         result.queue_depth_peaks = {
             name: queue.depth_peak for name, queue in self._queues.items()
         }
+        # SLO breaches/summaries are NOT materialised here: that
+        # triggers the engine's deferred replay of alert-only
+        # objectives, which belongs off the timed event loop.  Callers
+        # that time ``run`` (run_soak) invoke collect_slo afterwards —
+        # the same treatment as flight-record materialisation.
         return result
+
+    def collect_slo(self, result: ServiceResult) -> None:
+        """Materialise the engine's breaches/summary onto ``result``."""
+        if self.slo is not None:
+            result.slo_breaches = self.slo.breach_dicts()
+            result.slo_summary = self.slo.summary()
+
+    # ------------------------------------------------------------------
+    def _offer(
+        self,
+        queue: BoundedQueue,
+        arrived: float,
+        seq: int,
+        event: StreamEvent,
+        when: float,
+    ):
+        """Offer one arrival, with flight/SLO admission accounting."""
+        admitted, effective = queue.offer(
+            (arrived, seq, event), when,
+            priority=_STREAM_PRIORITY[event.stream],
+        )
+        flight = self._flight
+        slo = self.slo
+        if flight.enabled or slo is not None:
+            for t, victim, reason in queue.take_evictions():
+                _, vseq, vevent = victim
+                self._note_shed(vseq, vevent, t, reason, evicted=True)
+            if admitted:
+                if flight.enabled:
+                    # raw-append protocol: see FlightRecorder.buf
+                    flight.buf.append((
+                        seq, "enqueue", effective,
+                        {"stream": event.stream, "depth": len(queue)},
+                    ))
+                if slo is not None:
+                    slo.observe(
+                        "shed_rate", effective, 0.0, stream=event.stream
+                    )
+        return admitted, effective
+
+    def _note_shed(
+        self,
+        seq: int,
+        event: StreamEvent,
+        t: float,
+        reason: Optional[str],
+        evicted: bool = False,
+    ) -> None:
+        if self._flight.enabled:
+            self._flight.record(
+                seq, "shed", t,
+                stream=event.stream, reason=reason or "capacity",
+                evicted=evicted,
+            )
+        if self.slo is not None:
+            self.slo.observe("shed_rate", t, 1.0, stream=event.stream)
 
     # ------------------------------------------------------------------
     def _drain(self, until: float) -> None:
@@ -293,11 +381,36 @@ class BrokerService:
             start = max(self.busy_until, queue.peek_admit_time())
             if start >= until:
                 return
-            _, _, _, (arrived, event) = queue.pop()
+            _, _, _, (arrived, seq, event) = queue.pop()
             completion = start + self._service_time
             self.busy_until = completion
-            self._process(event, completion)
+            flight = self._flight
             latency = completion - arrived
+            if flight.enabled:
+                # raw-append protocol: see FlightRecorder.buf
+                flight.buf.append((
+                    seq, "queue_wait", start,
+                    {"seconds": start - arrived, "stream": event.stream},
+                ))
+                with flight.event(seq, completion):
+                    outcome = self._process(event, completion)
+                flight.buf.append((
+                    seq, "outcome", completion,
+                    {
+                        "seconds": latency, "stream": event.stream,
+                        "outcome": outcome,
+                    },
+                ))
+            else:
+                outcome = self._process(event, completion)
+            if self.slo is not None:
+                self.slo.observe(
+                    "queue_wait", start, start - arrived,
+                    stream=event.stream,
+                )
+                self.slo.observe(
+                    "latency", completion, latency, stream=event.stream
+                )
             self._result.latencies[event.stream].append(latency)
             self._result.n_processed[event.stream] += 1
             self._latency_hist.observe(latency, stream=event.stream)
@@ -326,9 +439,8 @@ class BrokerService:
             if ready > now:
                 return
             heapq.heappop(stalled)
-            admitted, effective = queue.offer(
-                (arrived, event), now,
-                priority=_STREAM_PRIORITY[event.stream],
+            admitted, effective = self._offer(
+                queue, arrived, seq, event, now
             )
             if admitted:
                 continue
@@ -338,36 +450,52 @@ class BrokerService:
             return
 
     # ------------------------------------------------------------------
-    def _process(self, event: StreamEvent, now: float) -> None:
+    def _process(self, event: StreamEvent, now: float) -> str:
+        """Apply one event; returns its outcome classification."""
         payload = event.payload
         if isinstance(payload, ChurnJoin):
             handle = self.maintainer.join(payload.node, payload.rectangle, now)
             self.live_handles.append(handle)
             self._sample_inflation(now)
             self.maintainer.maybe_rebuild(now)
-        elif isinstance(payload, ChurnLeave):
+            return "joined"
+        if isinstance(payload, ChurnLeave):
             if not self.live_handles:
-                return
+                return "noop"
             index = payload.index % len(self.live_handles)
             handle = self.live_handles.pop(index)
             self.maintainer.leave(handle, now)
             self._sample_inflation(now)
             self.maintainer.maybe_rebuild(now)
-        elif isinstance(payload, Publish):
+            return "left"
+        if isinstance(payload, Publish):
             self.maintainer.maybe_rebuild(now)
             receipt = self.broker.publish(payload.point, payload.publisher)
             self._result.total_cost += float(receipt.cost)
-        elif isinstance(payload, FaultEvent):
+            if self.slo is not None:
+                self.slo.observe(
+                    "lost_rate", now,
+                    receipt.lost_deliveries / max(1, receipt.n_interested),
+                    stream=event.stream,
+                )
+            return receipt.outcome
+        if isinstance(payload, FaultEvent):
             self._apply_fault(payload, now)
-        else:
-            raise TypeError(f"unknown payload {type(payload).__name__}")
+            return "fault"
+        raise TypeError(f"unknown payload {type(payload).__name__}")
 
     def _sample_inflation(self, now: float) -> None:
-        self._result.inflation_trajectory.append(
-            (now, self.maintainer.inflation)
-        )
+        inflation = self.maintainer.inflation
+        self._result.inflation_trajectory.append((now, inflation))
+        if self.slo is not None:
+            self.slo.observe("waste_inflation", now, inflation)
 
     def _apply_fault(self, fault: FaultEvent, now: float) -> None:
+        if self._flight.active:
+            self._flight.stage(
+                "fault", kind=fault.kind, node=fault.node,
+                link=list(fault.link) if fault.link else None,
+            )
         routing = self.broker.routing
         broker = self.broker
         if fault.kind == "node_down" and fault.node not in self._down_nodes:

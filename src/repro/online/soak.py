@@ -33,6 +33,13 @@ import numpy as np
 
 from ..broker import BrokerConfig, ContentBroker
 from ..geometry import Rectangle
+from ..obs import (
+    FlightRecorder,
+    bench_stamp,
+    get_flight_recorder,
+    set_flight_recorder,
+)
+from ..obs.slo import SloEngine
 from ..sim.scenario import build_preliminary_scenario
 from .maintainer import ClusterMaintainer, MaintainerConfig
 from .queues import POLICIES, QueueConfig
@@ -110,6 +117,8 @@ class SoakResult:
     warm_waste: Optional[float] = None
     cold_waste: Optional[float] = None
     wall_seconds: float = 0.0
+    #: flight-recorder stage records (empty unless recording was on)
+    flight_records: List[Dict] = field(default_factory=list)
 
     @property
     def waste_ratio(self) -> Optional[float]:
@@ -159,6 +168,17 @@ class SoakResult:
             lines.append(f"warm waste        {self.warm_waste:.9f}")
             lines.append(f"cold waste        {self.cold_waste:.9f}")
             lines.append(f"waste ratio       {self.waste_ratio:.9f}")
+        # SLO lines appear only when an engine ran, so reports with and
+        # without flight recording stay byte-comparable
+        if svc.slo_summary:
+            lines.append(f"slo breaches      {len(svc.slo_breaches)}")
+            for breach in svc.slo_breaches:
+                lines.append(
+                    "  breach          "
+                    f"{breach['objective']} t={breach['time']:.9f} "
+                    f"{breach['stat']}={breach['value']:.9f} "
+                    f"> {breach['threshold']:g}"
+                )
         return "\n".join(lines) + "\n"
 
     def bench_record(self) -> Dict:
@@ -201,6 +221,7 @@ class SoakResult:
             record["warm_waste"] = self.warm_waste
             record["cold_waste"] = self.cold_waste
             record["waste_ratio"] = self.waste_ratio
+        record["stamp"] = bench_stamp()
         return record
 
     def write_bench(self, path: str) -> None:
@@ -293,8 +314,19 @@ def _build_broker(config: SoakConfig, scenario) -> ContentBroker:
     return broker
 
 
-def run_soak(config: SoakConfig, finalize: bool = True) -> SoakResult:
-    """Build, stream, replay; optionally finalize the equivalence refits."""
+def run_soak(
+    config: SoakConfig,
+    finalize: bool = True,
+    flight: bool = False,
+    slo: Optional[SloEngine] = None,
+) -> SoakResult:
+    """Build, stream, replay; optionally finalize the equivalence refits.
+
+    ``flight`` swaps in a private enabled :class:`FlightRecorder` for the
+    duration of the replay (restored afterwards) and returns its records
+    on the result; ``slo`` evaluates objectives during the replay — the
+    breach/summary records land on ``result.service``.
+    """
     scenario = build_preliminary_scenario(
         n_nodes=config.n_nodes,
         n_subscriptions=config.n_subscriptions,
@@ -316,17 +348,32 @@ def run_soak(config: SoakConfig, finalize: bool = True) -> SoakResult:
             pub_queue=queue,
             fault_queue=QueueConfig(capacity=config.queue_capacity),
         ),
+        slo=slo,
     )
     service.live_handles = broker.handles()
     events = generate_stream(config, scenario)
+    recorder: Optional[FlightRecorder] = None
+    previous_recorder = None
+    if flight:
+        recorder = FlightRecorder(enabled=True)
+        previous_recorder = get_flight_recorder()
+        set_flight_recorder(recorder)
     start = time.perf_counter()
-    outcome = service.run(events)
+    try:
+        outcome = service.run(events)
+    finally:
+        if flight:
+            set_flight_recorder(previous_recorder)
     wall = time.perf_counter() - start
+    # breach materialisation replays alert-only objectives — post-run
+    # bookkeeping, kept outside the wall-clock window like as_dicts()
+    service.collect_slo(outcome)
     result = SoakResult(
         config=config,
         scenario_name=scenario.name,
         service=outcome,
         wall_seconds=wall,
+        flight_records=recorder.as_dicts() if recorder is not None else [],
     )
     if finalize:
         result.warm_waste, result.cold_waste = finalize_equivalence(broker)

@@ -35,6 +35,8 @@ from .report import (
     phase_table,
     results_to_rows,
     rows_to_csv,
+    slo_table,
+    stage_waterfall,
     worker_table,
 )
 from .stats import SummaryStatistics, replicate, summarize
@@ -81,6 +83,8 @@ __all__ = [
     "phase_table",
     "results_to_rows",
     "rows_to_csv",
+    "slo_table",
+    "stage_waterfall",
     "worker_table",
     "SummaryStatistics",
     "replicate",

@@ -34,7 +34,19 @@ Every sub-command also accepts the observability flags:
     after the normal output;
 ``--trace PATH``
     enable tracing and write a JSONL trace — run manifest, spans and
-    metric samples, one JSON object per line — to ``PATH``.
+    metric samples, one JSON object per line — to ``PATH``;
+``--metrics-out PATH``
+    write the run's metrics snapshot as OpenMetrics/Prometheus text
+    exposition (histograms include exact-over-bounds p50/p95/p99
+    quantile gauges) to ``PATH``.
+
+``serve``, ``chaos`` and ``sweep`` additionally accept ``--slo SPEC``
+(a JSON SLO spec — see ``docs/observability.md``) to evaluate
+declarative objectives over sliding virtual-time windows, and ``serve``
+and ``chaos`` accept ``--flight`` to record per-event causal stage
+chains (the flight recorder).  Both are virtual-clock deterministic:
+breach streams and stage records are byte-identical across runs and
+worker counts.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ from ..obs import (
     aggregate_spans,
     disable_tracing,
     enable_tracing,
+    get_flight_recorder,
     get_registry,
     get_tracer,
     write_jsonl,
@@ -94,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="trace the run and write a JSONL trace (manifest + spans "
         "+ metrics) to PATH",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metrics snapshot as OpenMetrics text "
+        "exposition to PATH",
+    )
+    # SLO flag shared by the online-signal sub-commands
+    slo_flags = argparse.ArgumentParser(add_help=False)
+    slo_flags.add_argument(
+        "--slo",
+        metavar="SPEC",
+        help="evaluate a JSON SLO spec (path or inline JSON) over the "
+        "run's virtual-time signals and print the objective table",
     )
     # worker-pool flag shared by the parallelisable sub-commands
     pool = argparse.ArgumentParser(add_help=False)
@@ -163,7 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="parallel sweep over algorithm x group-count cells",
-        parents=[obs, pool],
+        parents=[obs, pool, slo_flags],
     )
     p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
     p.add_argument("--subs", type=int, default=1000,
@@ -193,7 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="replay a churn+publication stream through the online "
         "streaming runtime",
-        parents=[obs, pool],
+        parents=[obs, pool, slo_flags],
+    )
+    p.add_argument(
+        "--flight",
+        action="store_true",
+        help="record per-event causal stage chains and print the "
+        "per-stage latency waterfall",
     )
     p.add_argument("--events", type=int, default=20000)
     p.add_argument("--seed", type=int, default=7)
@@ -226,7 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "chaos",
         help="replay a fault schedule and report delivery degradation",
-        parents=[obs, pool],
+        parents=[obs, pool, slo_flags],
+    )
+    p.add_argument(
+        "--flight",
+        action="store_true",
+        help="record per-publication cause chains (down nodes/links + "
+        "stage records) for every non-delivered publication",
     )
     p.add_argument("--nodes", type=int, default=100)
     p.add_argument("--subs", type=int, default=500)
@@ -294,6 +333,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             disable_tracing()
     if profiling:
         _report_profile(args, argv, wall_seconds)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from ..obs import render_openmetrics
+
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(render_openmetrics(get_registry()))
+        print(f"(OpenMetrics exposition written to {metrics_out})")
     return 0
 
 
@@ -334,6 +380,7 @@ def _report_profile(
             tracer=tracer,
             registry=get_registry(),
             manifest=manifest,
+            flight=get_flight_recorder(),
         )
         print(f"({n_records} trace records written to {args.trace})")
 
@@ -412,9 +459,18 @@ def _run_command(args: argparse.Namespace) -> None:
         _run_chaos(args)
 
 
+def _load_slo_engine(spec):
+    """Build an SLO engine from ``--slo`` (path or inline JSON)."""
+    from ..obs import SloEngine, load_slo_spec
+
+    return SloEngine(load_slo_spec(spec))
+
+
 def _run_serve(args: argparse.Namespace) -> None:
     from ..online import SoakConfig, run_soak
+    from .report import slo_table, stage_waterfall
 
+    slo_engine = _load_slo_engine(args.slo) if args.slo else None
     config = SoakConfig(
         n_events=args.events,
         seed=args.seed,
@@ -431,10 +487,21 @@ def _run_serve(args: argparse.Namespace) -> None:
         queue_rate=args.queue_rate,
         workers=args.workers,
     )
-    result = run_soak(config)
+    result = run_soak(config, flight=args.flight, slo=slo_engine)
     # the report carries virtual-clock numbers only: byte-identical
-    # across runs of the same seed (wall-clock goes to --bench)
+    # across runs of the same seed (wall-clock goes to --bench);
+    # the SLO table and stage waterfall run on the virtual clock too,
+    # so the full output stays byte-comparable
     print(result.deterministic_report(), end="")
+    if slo_engine is not None:
+        print()
+        print(slo_table(
+            result.service.slo_summary, result.service.slo_breaches
+        ))
+    if args.flight:
+        print()
+        print(stage_waterfall(result.flight_records))
+        print(f"({len(result.flight_records)} flight records)")
     if result.waste_ratio is not None and result.waste_ratio > 1.1:
         raise SystemExit(
             f"incremental maintenance drifted {result.waste_ratio:.3f}x "
@@ -452,6 +519,15 @@ def _run_sweep(args: argparse.Namespace) -> None:
     from .report import worker_table
     from .scenario import build_evaluation_scenario
 
+    if args.slo:
+        # sweeps are offline — no online signals to observe — but the
+        # spec is validated and its objectives echoed, so a pipeline can
+        # share one spec file across serve/chaos/sweep invocations
+        from .report import slo_table
+
+        engine = _load_slo_engine(args.slo)
+        print(slo_table(engine.summary(), title="SLO objectives (spec)"))
+        print()
     algorithms = tuple(a for a in args.algorithms.split(",") if a)
     schemes = tuple(s for s in args.schemes.split(",") if s)
     if args.max_cells is not None:
@@ -552,7 +628,16 @@ def _run_chaos(args: argparse.Namespace) -> None:
     # cells: each worker rebuilds the scenario from the same seed
     # (replay mutates routing tables, so nothing is shared), and the
     # serial path constructs through the identical code, so reports are
-    # byte-identical for any --workers value
+    # byte-identical for any --workers value; flight cause chains and
+    # SLO breaches travel inside the picklable report, preserving that
+    slo_spec: tuple = ()
+    if args.slo:
+        from ..obs import load_slo_spec
+
+        slo_spec = tuple(
+            tuple(sorted(objective.as_dict().items()))
+            for objective in load_slo_spec(args.slo)
+        )
     cells = [
         ChaosCell(
             index=0,
@@ -563,6 +648,8 @@ def _run_chaos(args: argparse.Namespace) -> None:
             config_kwargs=tuple(sorted(config_kwargs.items())),
             n_events=args.events,
             seed=args.seed,
+            flight=args.flight,
+            slo_spec=slo_spec,
         )
     ]
     if not args.no_baseline:
@@ -584,8 +671,16 @@ def _run_chaos(args: argparse.Namespace) -> None:
     baseline = outcomes[1].report if len(outcomes) > 1 else None
     if baseline is not None:
         report.baseline_cost = baseline.total_cost
+    report.workers = workers
 
     print(report.format())
+    if args.flight:
+        print(f"({len(report.cause_chains)} cause chain(s) recorded)")
+    if args.slo:
+        from .report import slo_table
+
+        print()
+        print(slo_table(report.slo_summary, report.slo_breaches))
     if baseline is not None and len(schedule) == 0:
         identical = report.per_event_costs == baseline.per_event_costs
         print(

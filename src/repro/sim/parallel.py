@@ -47,7 +47,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..obs import get_registry, get_tracer, reset_worker_state
+from ..obs import (
+    get_flight_recorder,
+    get_registry,
+    get_tracer,
+    reset_worker_state,
+)
 from .experiment import AlgorithmResult, ExperimentContext
 from .scenario import build_evaluation_scenario, build_preliminary_scenario
 
@@ -130,6 +135,7 @@ class SweepCellResult:
     pid: int
     metrics: List[Dict] = field(default_factory=list)
     spans: List[Dict] = field(default_factory=list)
+    flight_records: List[Dict] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -211,15 +217,17 @@ def plan_cells(
 _WORKER_CONTEXT: Optional[ExperimentContext] = None
 
 
-def _init_worker(factory: Optional[ContextFactory], tracing: bool) -> None:
+def _init_worker(
+    factory: Optional[ContextFactory], tracing: bool, flight: bool = False
+) -> None:
     """Worker-process start hook: fresh observability state, own context.
 
     Must run before any cell: the forked child inherited the parent's
-    registry and spans, and snapshotting those would double-count them
-    on merge (see :func:`repro.obs.reset_worker_state`).
+    registry, spans and flight records, and snapshotting those would
+    double-count them on merge (see :func:`repro.obs.reset_worker_state`).
     """
     global _WORKER_CONTEXT
-    reset_worker_state(tracing=tracing)
+    reset_worker_state(tracing=tracing, flight=flight)
     if factory is not None:
         _WORKER_CONTEXT = factory()
     if _WORKER_CONTEXT is not None:
@@ -275,10 +283,12 @@ def _run_cell_task(
         )
     registry = get_registry()
     tracer = get_tracer()
+    flight = get_flight_recorder()
     # per-cell delta: zero, run, snapshot — tasks run serially within a
     # worker, so the snapshot is exactly this cell's contribution
     registry.reset()
     tracer.clear()
+    flight.clear()
     start = time.perf_counter()
     results = _execute_cell(context, cell, _cell_rng(scenario_seed, cell, seed_mode))
     seconds = time.perf_counter() - start
@@ -289,6 +299,7 @@ def _run_cell_task(
         pid=os.getpid(),
         metrics=registry.snapshot(),
         spans=[span.as_dict() for span in tracer.spans()],
+        flight_records=flight.as_dicts(),
     )
 
 
@@ -307,16 +318,21 @@ def _default_start_method() -> str:
 def _merge_observability(outcomes: Sequence) -> None:
     """Fold worker metric/span snapshots into the parent registry/tracer.
 
-    Outcomes are merged in plan order, so the merged totals are
-    deterministic regardless of completion order.
+    Outcomes are merged in plan order, so the merged totals — and the
+    flight recorder's remapped event ids — are deterministic regardless
+    of completion order.
     """
     registry = get_registry()
     tracer = get_tracer()
+    flight = get_flight_recorder()
     for outcome in outcomes:
         if outcome.metrics:
             registry.merge_records(outcome.metrics)
         if outcome.spans:
             tracer.ingest(outcome.spans)
+        records = getattr(outcome, "flight_records", None)
+        if records:
+            flight.ingest(records)
 
 
 def run_cells(
@@ -380,7 +396,7 @@ def run_cells(
             max_workers=min(n_workers, len(cells)),
             mp_context=pool_ctx,
             initializer=_init_worker,
-            initargs=(factory, get_tracer().enabled),
+            initargs=(factory, get_tracer().enabled, get_flight_recorder().enabled),
         ) as pool:
             futures = [
                 pool.submit(_run_cell_task, cell, scenario_seed, seed_mode)
@@ -418,6 +434,14 @@ class ChaosCell:
     config_kwargs: Tuple[Tuple[str, object], ...] = ()
     n_events: int = 100
     seed: int = 0
+    #: record per-publication flight chains; the cause chains travel
+    #: inside the (picklable) DegradationReport, so serial and parallel
+    #: replays produce byte-identical reports
+    flight: bool = False
+    #: SLO objectives as sorted (key, value)-pair tuples, one per
+    #: objective — hashable/picklable; each worker builds a private
+    #: engine and ships breaches back on the report
+    slo_spec: Tuple[Tuple[Tuple[str, object], ...], ...] = ()
 
 
 @dataclass
@@ -430,6 +454,7 @@ class ChaosCellResult:
     pid: int
     metrics: List[Dict] = field(default_factory=list)
     spans: List[Dict] = field(default_factory=list)
+    flight_records: List[Dict] = field(default_factory=list)
 
 
 def _execute_chaos_cell(cell: ChaosCell):
@@ -442,6 +467,8 @@ def _execute_chaos_cell(cell: ChaosCell):
         config_kwargs=dict(cell.config_kwargs),
         n_events=cell.n_events,
         seed=cell.seed,
+        flight=cell.flight,
+        slo_spec=[dict(entry) for entry in cell.slo_spec] or None,
     )
     return runner.run()
 
@@ -449,8 +476,10 @@ def _execute_chaos_cell(cell: ChaosCell):
 def _run_chaos_task(cell: ChaosCell) -> ChaosCellResult:
     registry = get_registry()
     tracer = get_tracer()
+    flight = get_flight_recorder()
     registry.reset()
     tracer.clear()
+    flight.clear()
     start = time.perf_counter()
     report = _execute_chaos_cell(cell)
     seconds = time.perf_counter() - start
@@ -461,6 +490,7 @@ def _run_chaos_task(cell: ChaosCell) -> ChaosCellResult:
         pid=os.getpid(),
         metrics=registry.snapshot(),
         spans=[span.as_dict() for span in tracer.spans()],
+        flight_records=flight.as_dicts(),
     )
 
 
@@ -499,7 +529,7 @@ def run_chaos_cells(
         max_workers=min(n_workers, len(cells)),
         mp_context=pool_ctx,
         initializer=_init_worker,
-        initargs=(None, get_tracer().enabled),
+        initargs=(None, get_tracer().enabled, get_flight_recorder().enabled),
     ) as pool:
         futures = [pool.submit(_run_chaos_task, cell) for cell in cells]
         outcomes = [future.result() for future in futures]

@@ -9,9 +9,12 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..obs import aggregate_spans
+from ..obs.flight import STAGE_ORDER, stage_latencies
+from ..obs.metrics import Histogram
 from .experiment import AlgorithmResult
 
 __all__ = [
@@ -21,6 +24,8 @@ __all__ = [
     "chart_improvement",
     "phase_table",
     "worker_table",
+    "slo_table",
+    "stage_waterfall",
 ]
 
 Point = Tuple[float, float]
@@ -173,27 +178,135 @@ def phase_table(spans, title: str = "Phase breakdown") -> str:
 
     One row per span name, sorted by total time: call count, total
     seconds, *self* seconds (total minus direct children — where the
-    time is actually spent), mean and max.  ``spans`` is whatever
-    :meth:`repro.obs.Tracer.spans` returned.
+    time is actually spent), mean, histogram-derived p50/p95/p99 and
+    max.  ``spans`` is whatever :meth:`repro.obs.Tracer.spans` returned.
     """
+    spans = list(spans)
     rows = aggregate_spans(spans)
     if not rows:
         return f"{title}: no spans recorded (tracing disabled?)"
+    # per-phase duration distribution through the metrics histogram, so
+    # the table's quantiles come from the same exact-over-bounds
+    # estimator every snapshot/export reports
+    durations = Histogram("phase_seconds")
+    for span in spans:
+        durations.observe(span.duration_s, phase=span.name)
     name_width = max(len("phase"), max(len(r["name"]) for r in rows))
     header = (
         f"{'phase':<{name_width}} {'calls':>6} {'total_s':>9} "
-        f"{'self_s':>9} {'mean_s':>9} {'max_s':>9}"
+        f"{'self_s':>9} {'mean_s':>9} {'p50_s':>9} {'p95_s':>9} "
+        f"{'p99_s':>9} {'max_s':>9}"
     )
     lines = [title, header, "-" * len(header)]
     for r in rows:
+        child = durations.labels(phase=r["name"])
+        p50 = child.quantile(0.50) or 0.0
+        p95 = child.quantile(0.95) or 0.0
+        p99 = child.quantile(0.99) or 0.0
         lines.append(
             f"{r['name']:<{name_width}} {r['calls']:>6} "
             f"{r['total_s']:>9.4f} {r['self_s']:>9.4f} "
-            f"{r['mean_s']:>9.4f} {r['max_s']:>9.4f}"
+            f"{r['mean_s']:>9.4f} {p50:>9.4f} {p95:>9.4f} "
+            f"{p99:>9.4f} {r['max_s']:>9.4f}"
         )
     total = sum(r["self_s"] for r in rows)
     lines.append("-" * len(header))
     lines.append(
         f"{'(sum of self)':<{name_width}} {'':>6} {total:>9.4f}"
     )
+    return "\n".join(lines)
+
+
+def slo_table(
+    summary: Sequence[Mapping],
+    breaches: Sequence[Mapping] = (),
+    title: str = "SLO objectives",
+) -> str:
+    """Render an SLO engine's summary rows plus its breach stream.
+
+    ``summary`` is :meth:`repro.obs.SloEngine.summary`, ``breaches`` is
+    :meth:`~repro.obs.SloEngine.breach_dicts`; both are deterministic on
+    the virtual clock, so the rendered table is byte-identical across
+    runs and worker counts.
+    """
+    summary = list(summary)
+    if not summary:
+        return f"{title}: no objectives"
+    name_width = max(
+        len("objective"), max(len(str(r["objective"])) for r in summary)
+    )
+    header = (
+        f"{'objective':<{name_width}} {'signal':>15} {'stat':>5} "
+        f"{'window':>8} {'threshold':>10} {'last':>12} {'breaches':>8} "
+        f"{'state':>6}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for row in summary:
+        last = row.get("last_value")
+        last_text = "-" if last is None else f"{last:.6f}"
+        state = "BREACH" if row.get("breached_now") else "ok"
+        lines.append(
+            f"{row['objective']:<{name_width}} {row['signal']:>15} "
+            f"{row['stat']:>5} {row['window']:>8g} "
+            f"{row['threshold']:>10g} {last_text:>12} "
+            f"{row['breaches']:>8} {state:>6}"
+        )
+    breaches = list(breaches)
+    lines.append("-" * len(header))
+    lines.append(f"{len(breaches)} breach(es)")
+    for breach in breaches:
+        lines.append(
+            f"  t={breach['time']:.6f} {breach['objective']} "
+            f"{breach['stat']}={breach['value']:.6f} "
+            f"> {breach['threshold']:g} "
+            f"(n={breach['window_count']})"
+        )
+    return "\n".join(lines)
+
+
+def stage_waterfall(
+    records: Sequence[Mapping],
+    title: str = "Per-stage latency waterfall",
+    width: int = 32,
+) -> str:
+    """Render flight-recorder stage latencies as a waterfall table.
+
+    One row per pipeline stage that carried a ``seconds`` attribute
+    (queue wait, end-to-end outcome, ...), in pipeline order: count,
+    mean/p50/p95/p99/max seconds and a bar proportional to the stage's
+    share of total recorded time.  ``records`` is
+    :meth:`repro.obs.FlightRecorder.as_dicts` output (or the raw
+    records).
+    """
+    latencies = stage_latencies(records)
+    if not latencies:
+        return f"{title}: no timed stages recorded"
+    rank = {stage: idx for idx, stage in enumerate(STAGE_ORDER)}
+    stages = sorted(
+        latencies, key=lambda s: (rank.get(s, len(STAGE_ORDER)), s)
+    )
+    totals = {stage: sum(latencies[stage]) for stage in stages}
+    grand = sum(totals.values()) or 1.0
+    name_width = max(len("stage"), max(len(s) for s in stages))
+    header = (
+        f"{'stage':<{name_width}} {'count':>6} {'mean_s':>10} "
+        f"{'p50_s':>10} {'p95_s':>10} {'p99_s':>10} {'max_s':>10}  share"
+    )
+    lines = [title, header, "-" * len(header)]
+    for stage in stages:
+        values = sorted(latencies[stage])
+        n = len(values)
+
+        # exact order statistics: rank ceil(q*n), 1-indexed
+        def quant(quantile: float) -> float:
+            return values[max(0, math.ceil(quantile * n) - 1)]
+
+        mean = totals[stage] / n
+        share = totals[stage] / grand
+        bar = "#" * max(1, int(round(share * width)))
+        lines.append(
+            f"{stage:<{name_width}} {n:>6} {mean:>10.6f} "
+            f"{quant(0.50):>10.6f} {quant(0.95):>10.6f} "
+            f"{quant(0.99):>10.6f} {values[-1]:>10.6f}  {bar}"
+        )
     return "\n".join(lines)

@@ -382,3 +382,105 @@ class TestWorkerMerge:
         rows = aggregate_spans(parent.spans())
         assert rows[0]["name"] == "phase"
         assert rows[0]["calls"] == 2
+
+    def test_ingest_remaps_out_of_order_nested_snapshots(self):
+        """Worker snapshots arrive in completion order — children first.
+
+        ``Tracer.ingest`` must reassemble the parent links no matter how
+        the batch is ordered (ids are assigned at open time, so sorting
+        by id restores open order before remapping).
+        """
+        worker = Tracer(enabled=True)
+        with worker.span("outer"):
+            with worker.span("mid"):
+                with worker.span("inner"):
+                    pass
+        # completion order is inner, mid, outer: reverse of open order
+        records = [span.as_dict() for span in worker.spans()]
+        assert [r["name"] for r in records] == ["inner", "mid", "outer"]
+
+        parent = Tracer(enabled=True)
+        with parent.span("local"):
+            pass
+        parent.ingest(records)
+        by_name = {span.name: span for span in parent.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["mid"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["mid"].span_id
+        ids = [span.span_id for span in parent.spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_ingest_two_worker_batches_stay_collision_free(self):
+        """Two workers number their spans identically; ingesting both
+        batches in plan order must keep every id unique and each batch's
+        internal nesting intact."""
+
+        def worker_snapshot():
+            tracer = Tracer(enabled=True)
+            with tracer.span("cell"):
+                with tracer.span("fit"):
+                    pass
+            return [span.as_dict() for span in tracer.spans()]
+
+        first, second = worker_snapshot(), worker_snapshot()
+        assert {r["span_id"] for r in first} == {r["span_id"] for r in second}
+
+        parent = Tracer(enabled=True)
+        parent.ingest(first)
+        parent.ingest(second)
+        spans = parent.spans()
+        assert len(spans) == 4
+        assert len({span.span_id for span in spans}) == 4
+        for batch in (spans[:2], spans[2:]):
+            by_name = {span.name: span for span in batch}
+            assert by_name["fit"].parent_id == by_name["cell"].span_id
+
+
+class TestJsonlHistogramChildren:
+    """JSONL round-trip of labeled histogram children (satellite of the
+    flight/SLO observability issue)."""
+
+    def test_round_trip_recovers_label_children(self, tmp_path):
+        source = MetricsRegistry()
+        hist = source.histogram("stage_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5):
+            hist.observe(value, stream="pub")
+        hist.observe(0.02, stream="churn")
+        path = tmp_path / "metrics.jsonl"
+        write_jsonl(path, registry=source)
+
+        records = read_jsonl(path)
+        metric_records = [r for r in records if r["kind"] == "metric"]
+        # one record per label child, labels intact
+        streams = {tuple(r["labels"].items()) for r in metric_records}
+        assert streams == {(("stream", "pub"),), (("stream", "churn"),)}
+
+        target = MetricsRegistry()
+        merged = target.merge_records(
+            {k: v for k, v in r.items() if k != "kind"}
+            for r in metric_records
+        )
+        assert merged == 2
+        clone = target.histogram("stage_seconds")
+        pub = clone.labels(stream="pub").sample()
+        assert pub["count"] == 3
+        assert pub["buckets"]["le_0.01"] == 1
+        assert pub["buckets"]["le_0.1"] == 1
+        assert pub["buckets"]["le_1"] == 1
+        churn = clone.labels(stream="churn").sample()
+        assert churn["count"] == 1
+
+    def test_round_trip_preserves_quantile_keys(self, tmp_path):
+        source = MetricsRegistry()
+        hist = source.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.06, 0.2):
+            hist.observe(value)
+        path = tmp_path / "metrics.jsonl"
+        write_jsonl(path, registry=source)
+        record = next(
+            r for r in read_jsonl(path) if r["kind"] == "metric"
+        )
+        # exact-over-bounds: p50's rank lands in the le_0.1 bucket; p99
+        # lands in le_1.0 whose bound clamps to the recorded max
+        assert record["p50"] == pytest.approx(0.1)
+        assert record["p99"] == pytest.approx(0.2)

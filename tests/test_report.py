@@ -93,3 +93,120 @@ class TestAsciiChart:
         assert "forgy" in chart and "mst" in chart
         with pytest.raises(ValueError):
             chart_improvement(results, scheme="sparse")
+
+
+class TestSloTable:
+    def _summary_row(self, **overrides):
+        row = {
+            "objective": "latency-p95", "signal": "latency", "stat": "p95",
+            "window": 5.0, "threshold": 0.1, "last_value": 0.025,
+            "breaches": 0, "breached_now": False,
+        }
+        row.update(overrides)
+        return row
+
+    def test_empty_summary_short_circuits(self):
+        from repro.sim import slo_table
+
+        assert slo_table([]) == "SLO objectives: no objectives"
+
+    def test_rows_and_breach_stream(self):
+        from repro.sim import slo_table
+
+        summary = [
+            self._summary_row(),
+            self._summary_row(
+                objective="lost-rate", signal="lost_rate", stat="mean",
+                last_value=0.5, breaches=2, breached_now=True,
+            ),
+        ]
+        breaches = [
+            {"time": 1.5, "objective": "lost-rate", "stat": "mean",
+             "value": 0.5, "threshold": 0.1, "window_count": 4},
+        ]
+        text = slo_table(summary, breaches)
+        lines = text.splitlines()
+        assert lines[0] == "SLO objectives"
+        assert any("latency-p95" in line and " ok" in line
+                   for line in lines)
+        assert any("lost-rate" in line and "BREACH" in line
+                   for line in lines)
+        assert "1 breach(es)" in text
+        assert "t=1.500000" in text
+
+    def test_missing_last_value_renders_dash(self):
+        from repro.sim import slo_table
+
+        text = slo_table([self._summary_row(last_value=None)])
+        assert " - " in text or text.rstrip().count("-") > 0
+        assert "None" not in text
+
+    def test_output_is_deterministic(self):
+        from repro.sim import slo_table
+
+        summary = [self._summary_row()]
+        assert slo_table(summary) == slo_table(summary)
+
+
+class TestStageWaterfall:
+    def _flight_dicts(self):
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(enabled=True)
+        for event in range(4):
+            base = float(event)
+            recorder.record(event, "enqueue", base, stream="pub")
+            recorder.record(
+                event, "queue_wait", base + 0.1,
+                seconds=0.01 * (event + 1), stream="pub",
+            )
+            recorder.record(
+                event, "outcome", base + 0.2,
+                seconds=0.1 * (event + 1), stream="pub",
+                outcome="delivered",
+            )
+        return recorder.as_dicts()
+
+    def test_untimed_records_short_circuit(self):
+        from repro.sim import stage_waterfall
+
+        text = stage_waterfall(
+            [{"event": 0, "stage": "enqueue", "t": 0.0, "attrs": {}}]
+        )
+        assert text.endswith("no timed stages recorded")
+
+    def test_rows_follow_pipeline_order(self):
+        from repro.sim import stage_waterfall
+
+        text = stage_waterfall(self._flight_dicts())
+        lines = [l for l in text.splitlines() if l and l[0].isalpha()]
+        # header first, then queue_wait before outcome (pipeline order,
+        # not alphabetical)
+        stages = [l.split()[0] for l in lines[2:]]
+        assert stages == ["queue_wait", "outcome"]
+
+    def test_quantiles_are_exact_order_statistics(self):
+        from repro.sim import stage_waterfall
+
+        text = stage_waterfall(self._flight_dicts())
+        outcome_line = next(
+            l for l in text.splitlines() if l.startswith("outcome")
+        )
+        cols = outcome_line.split()
+        # count mean p50 p95 p99 max over (0.1, 0.2, 0.3, 0.4)
+        assert cols[1] == "4"
+        assert float(cols[2]) == pytest.approx(0.25)
+        assert float(cols[3]) == pytest.approx(0.2)
+        assert float(cols[4]) == pytest.approx(0.4)
+        assert float(cols[6]) == pytest.approx(0.4)
+        assert "#" in outcome_line
+
+    def test_accepts_stage_records_too(self):
+        from repro.obs import FlightRecorder
+        from repro.sim import stage_waterfall
+
+        recorder = FlightRecorder(enabled=True)
+        recorder.record(0, "outcome", 0.1, seconds=0.1)
+        assert stage_waterfall(recorder.records()) == stage_waterfall(
+            recorder.as_dicts()
+        )
