@@ -1,0 +1,144 @@
+"""Incremental aggregate maintenance for the online broker.
+
+Full re-aggregation scans all ``m`` live rectangles; under churn that
+would put an O(m) pass on every join/leave.  :class:`OnlineAggregator`
+instead keys aggregates by their rectangle bounds: a subscribe is one
+dict lookup — merging into the existing aggregate or creating a new
+one — and an unsubscribe splits its handle back out, dissolving the
+aggregate when it empties.  The broker keeps one instance in lockstep
+with its handle table and asks for a :class:`AggregateSnapshot` only at
+rebuild time, ordered by smallest member handle so the rebuilt
+hypercells come out byte-identical to the unaggregated path (see
+docs/aggregation.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Rectangle
+from ..obs import get_registry
+
+__all__ = ["AggregateSnapshot", "OnlineAggregator"]
+
+_BoundsKey = Tuple[float, ...]
+
+
+def _bounds_key(rectangle: Rectangle) -> _BoundsKey:
+    lo_t, hi_t = rectangle.bounds()
+    return tuple(lo_t) + tuple(hi_t)
+
+
+@dataclass(frozen=True)
+class AggregateSnapshot:
+    """Aggregate structure over a sorted handle list at rebuild time.
+
+    ``agg_of`` maps each position in the handle list (= the broker's
+    internal subscriber id) to its aggregate; ``reps`` holds one
+    representative handle per aggregate (its smallest member, in
+    aggregate order); ``multiplicity`` counts members.
+    """
+
+    agg_of: np.ndarray
+    reps: Tuple[int, ...]
+    multiplicity: np.ndarray
+
+    @property
+    def n_aggregates(self) -> int:
+        return len(self.reps)
+
+    @property
+    def n_subscriptions(self) -> int:
+        return int(len(self.agg_of))
+
+    @property
+    def aggregation_ratio(self) -> float:
+        if self.n_aggregates == 0:
+            return 1.0
+        return self.n_subscriptions / self.n_aggregates
+
+
+class OnlineAggregator:
+    """Bounds-keyed aggregate membership maintained under churn."""
+
+    def __init__(self) -> None:
+        self._key_of: Dict[int, _BoundsKey] = {}
+        self._handles_of: Dict[_BoundsKey, set] = {}
+        registry = get_registry()
+        self._merges = registry.counter(
+            "aggregation_merges_total",
+            "subscribes absorbed into an existing aggregate",
+        )
+        self._splits = registry.counter(
+            "aggregation_splits_total",
+            "unsubscribes split out of a surviving aggregate",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_aggregates(self) -> int:
+        return len(self._handles_of)
+
+    @property
+    def n_subscriptions(self) -> int:
+        return len(self._key_of)
+
+    @property
+    def aggregation_ratio(self) -> float:
+        if not self._handles_of:
+            return 1.0
+        return len(self._key_of) / len(self._handles_of)
+
+    # ------------------------------------------------------------------
+    def add(self, handle: int, rectangle: Rectangle) -> bool:
+        """Track one subscription; True when it opened a new aggregate."""
+        if handle in self._key_of:
+            raise KeyError(f"handle {handle} already aggregated")
+        key = _bounds_key(rectangle)
+        self._key_of[handle] = key
+        group = self._handles_of.get(key)
+        if group is None:
+            self._handles_of[key] = {handle}
+            return True
+        group.add(handle)
+        self._merges.inc()
+        return False
+
+    def remove(self, handle: int) -> bool:
+        """Untrack one subscription; True when its aggregate dissolved."""
+        key = self._key_of.pop(handle)
+        group = self._handles_of[key]
+        group.discard(handle)
+        if not group:
+            del self._handles_of[key]
+            return True
+        self._splits.inc()
+        return False
+
+    # ------------------------------------------------------------------
+    def snapshot(self, handles: Sequence[int]) -> AggregateSnapshot:
+        """Aggregate structure over ``handles`` (the broker's sorted
+        live-handle list), aggregates ordered by first appearance —
+        i.e. by smallest member internal id."""
+        agg_index: Dict[_BoundsKey, int] = {}
+        agg_of = np.empty(len(handles), dtype=np.int64)
+        reps: List[int] = []
+        counts: List[int] = []
+        for i, handle in enumerate(handles):
+            key = self._key_of[handle]
+            a = agg_index.get(key)
+            if a is None:
+                a = len(reps)
+                agg_index[key] = a
+                reps.append(int(handle))
+                counts.append(0)
+            agg_of[i] = a
+            counts[a] += 1
+        return AggregateSnapshot(
+            agg_of=agg_of,
+            reps=tuple(reps),
+            multiplicity=np.asarray(counts, dtype=np.int64),
+        )

@@ -20,13 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..clustering import ForgyKMeansClustering, KMeansClustering
+from ..aggregation import AggregateSnapshot, OnlineAggregator, expand_cell_set
+from ..clustering import Clustering, ForgyKMeansClustering, KMeansClustering
 from ..delivery import AdaptiveDeliveryPolicy, Dispatcher
 from ..geometry import EventSpace, Rectangle
 from ..grid import CellSet, build_cell_set, cell_set_from_membership
 from ..matching import DeliveryPlan, GridMatcher
 from ..network import RoutingTables, unicast_cost
-from ..obs import get_flight_recorder, get_tracer
+from ..obs import get_flight_recorder, get_registry, get_tracer
 from ..workload import Subscription, SubscriptionSet
 from .rebuild import RebuildScheduler
 from .stats import DeliveryStats
@@ -79,6 +80,11 @@ class BrokerConfig:
     #: matrix across churn so rebuilds skip the per-subscription
     #: rasterisation pass; costs ``n_cells`` bytes per live subscription
     delta_cells: bool = True
+    #: collapse identical subscription rectangles into weighted
+    #: aggregates before every refit (maintained incrementally under
+    #: churn by :class:`repro.aggregation.OnlineAggregator`); delivery
+    #: behaviour is byte-identical, fits run on far fewer columns
+    aggregate: bool = False
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("forgy", "kmeans"):
@@ -159,6 +165,9 @@ class ContentBroker:
         self._free_slots: List[int] = []
         self._n_slots = 0
         self._cell_buf: Optional[np.ndarray] = None
+        self._aggregator = (
+            OnlineAggregator() if self.config.aggregate else None
+        )
 
     # ------------------------------------------------------------------
     # subscription management
@@ -175,6 +184,8 @@ class ContentBroker:
         self._pending_changes += 1
         if self.config.delta_cells:
             self._track_cells(handle, rectangle)
+        if self._aggregator is not None:
+            self._aggregator.add(handle, rectangle)
         return handle
 
     def covered_cells(self, handle: int) -> Optional[np.ndarray]:
@@ -196,6 +207,8 @@ class ContentBroker:
             raise KeyError(f"unknown subscription handle {handle}") from None
         self._pending_changes += 1
         self._untrack_cells(handle)
+        if self._aggregator is not None:
+            self._aggregator.remove(handle)
 
     # ------------------------------------------------------------------
     # persistent cell-membership cache (the delta rebuild path)
@@ -243,6 +256,42 @@ class ContentBroker:
             self.space, subs, self.cell_pmf,
             max_cells=self.config.max_cells,
         )
+
+    def _build_aggregate_cells(self, snap: AggregateSnapshot) -> CellSet:
+        """Weighted aggregate hyper-cells for a rebuild.
+
+        One column per distinct rectangle, weighted by its multiplicity.
+        The delta path gathers the representative handles' cached buffer
+        columns (every member of an aggregate rasterises to the same
+        column, so the representative's is exact); the cold path
+        rasterises the representatives' rectangles directly.
+        """
+        if self.config.delta_cells and self._cell_buf is not None:
+            rep_slots = [self._slot_of[h] for h in snap.reps]
+            membership = np.ascontiguousarray(
+                self._cell_buf[:, rep_slots]
+            )
+        else:
+            membership = np.zeros(
+                (self.space.n_cells, snap.n_aggregates), dtype=bool
+            )
+            for a, handle in enumerate(snap.reps):
+                _, rectangle = self._active[handle]
+                covered = self.space.cells_in_rectangle(rectangle)
+                membership[covered, a] = True
+        # nothing collapsed: drop the all-ones weights so the fit keeps
+        # the packed-bitset kernels
+        weights = snap.multiplicity
+        if snap.n_aggregates == snap.n_subscriptions:
+            weights = None
+        with get_tracer().span(
+            "broker.aggregate_cells", n_aggregates=snap.n_aggregates
+        ):
+            return cell_set_from_membership(
+                self.space, membership, self.cell_pmf,
+                max_cells=self.config.max_cells,
+                weights=weights,
+            )
 
     @property
     def n_subscriptions(self) -> int:
@@ -389,11 +438,46 @@ class ContentBroker:
                     Subscription(self._internal_of[ext], node, rectangle)
                 )
             subs = SubscriptionSet(self.space, subscriptions)
-            cells = self._build_cells(subs)
-            algorithm = self._make_algorithm(
-                None if full else old_clustering, cells
-            )
-            self._clustering = algorithm.fit(cells, self.config.n_groups)
+            if self._aggregator is not None:
+                snap = self._aggregator.snapshot(self._external_of)
+                agg_cells = self._build_aggregate_cells(snap)
+                algorithm = self._make_algorithm(
+                    None if full else old_clustering, agg_cells
+                )
+                fitted = algorithm.fit(agg_cells, self.config.n_groups)
+                # expand the aggregate-level fit back to subscriber
+                # columns: the hypercell structure (probs, cell ids,
+                # assignment) is shared, so the installed grouping is
+                # byte-identical to the unaggregated rebuild
+                with get_tracer().span(
+                    "broker.expand", n_aggregates=snap.n_aggregates
+                ):
+                    self._clustering = Clustering(
+                        expand_cell_set(agg_cells, snap.agg_of),
+                        fitted.assignment,
+                    )
+                flight = get_flight_recorder()
+                if flight.active:
+                    flight.stage(
+                        "expand",
+                        aggregates=snap.n_aggregates,
+                        subscriptions=snap.n_subscriptions,
+                    )
+                registry = get_registry()
+                registry.gauge(
+                    "aggregation_aggregates",
+                    "distinct subscription rectangles after aggregation",
+                ).set(float(snap.n_aggregates), path="online")
+                registry.gauge(
+                    "aggregation_ratio",
+                    "live subscriptions per aggregate",
+                ).set(snap.aggregation_ratio, path="online")
+            else:
+                cells = self._build_cells(subs)
+                algorithm = self._make_algorithm(
+                    None if full else old_clustering, cells
+                )
+                self._clustering = algorithm.fit(cells, self.config.n_groups)
             self._subscriptions = subs
             self._matcher = GridMatcher(
                 self._clustering, subs, threshold=self.config.threshold

@@ -82,6 +82,7 @@ class _KMeansBase(GridClusteringAlgorithm):
                 cells.probs[rest],
                 cells.membership[seeds],
                 cells.probs[seeds],
+                weights=cells.weights,
             )
             assignment[rest] = np.argmin(distances, axis=1)
         return assignment
@@ -130,7 +131,11 @@ class ForgyKMeansClustering(_KMeansBase):
                     cells, assignment, n_groups
                 )
                 distances = waste_to_clusters(
-                    cells.membership, cells.probs, membership, probs
+                    cells.membership,
+                    cells.probs,
+                    membership,
+                    probs,
+                    weights=cells.weights,
                 )
                 new_assignment = np.argmin(distances, axis=1)
                 new_assignment = self._fix_empty_groups(
@@ -213,7 +218,18 @@ class KMeansClustering(_KMeansBase):
                 n_cells_in[g] = int(members.sum())
             membership = counts > 0
             membership_f32 = membership.astype(np.float32)
-            group_sizes = membership.sum(axis=1).astype(np.float64)
+            # aggregate column weights: sizes and intersections below
+            # count subscriptions (exact integers in float32), keeping
+            # the iteration bitwise equal to the subscriber-level run
+            weights = cells.weights
+            if weights is not None:
+                w32 = weights.astype(np.float32)
+                cell_membership_f32 = cell_membership_f32 * w32
+                group_sizes = (
+                    membership.astype(np.int64) @ weights
+                ).astype(np.float64)
+            else:
+                group_sizes = membership.sum(axis=1).astype(np.float64)
 
             cell_sizes = cells.sizes.astype(np.float64)
             # the inner loop evaluates one cell against every group; the
@@ -245,7 +261,12 @@ class KMeansClustering(_KMeansBase):
                     for g in (current, target):
                         membership[g] = counts[g] > 0
                         membership_f32[g] = membership[g]
-                        group_sizes[g] = float(membership[g].sum())
+                        if weights is not None:
+                            group_sizes[g] = float(
+                                membership[g].astype(np.int64) @ weights
+                            )
+                        else:
+                            group_sizes[g] = float(membership[g].sum())
                 if moved == 0:
                     self.n_iterations_ = iteration
                     break

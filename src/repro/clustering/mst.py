@@ -41,7 +41,7 @@ class MSTClustering(GridClusteringAlgorithm):
 
         with self._fit_span(cells, n_groups) as span:
             distances = pairwise_waste_matrix(
-                cells.membership, cells.probs
+                cells.membership, cells.probs, weights=cells.weights
             ).astype(np.float32)
             rows, cols = np.triu_indices(m, k=1)
             order = np.argsort(distances[rows, cols], kind="stable")

@@ -37,7 +37,9 @@ def nearest_neighbor_waste(cells: CellSet) -> np.ndarray:
     """
     if len(cells) < 2:
         return np.zeros(len(cells))
-    distances = pairwise_waste_matrix(cells.membership, cells.probs)
+    distances = pairwise_waste_matrix(
+        cells.membership, cells.probs, weights=cells.weights
+    )
     np.fill_diagonal(distances, np.inf)
     return distances.min(axis=1)
 

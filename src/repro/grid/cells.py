@@ -79,6 +79,13 @@ class CellSet:
         ``(space.n_cells,)`` int32 array mapping a flat grid cell to its
         hyper-cell, or ``-1`` for cells that were dropped (empty
         membership or below the popularity cut).
+    weights:
+        Optional ``(n_subscribers,)`` int64 column weights.  The
+        aggregation layer fits on columns that stand for several
+        identical subscriptions each; with weights set, ``sizes`` (and
+        hence ``popularity``) count the subscriptions behind each
+        column, so aggregate-level fits see exactly the subscriber-level
+        values.  ``None`` (the default) means every column counts once.
     """
 
     space: EventSpace
@@ -86,6 +93,7 @@ class CellSet:
     probs: np.ndarray
     cell_ids: List[np.ndarray]
     hypercell_of_cell: np.ndarray
+    weights: Optional[np.ndarray] = None
     #: lazily built packed-bitset mirror of ``membership`` (see
     #: :mod:`repro.kernels`); built once and shared by every fit
     _packed: Optional[PackedBits] = field(
@@ -99,6 +107,10 @@ class CellSet:
             raise ValueError("probs / membership length mismatch")
         if len(self.cell_ids) != len(self.membership):
             raise ValueError("cell_ids / membership length mismatch")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.int64)
+            if self.weights.shape != (self.membership.shape[1],):
+                raise ValueError("weights must have one entry per column")
 
     def __len__(self) -> int:
         return len(self.membership)
@@ -121,7 +133,10 @@ class CellSet:
 
     @property
     def sizes(self) -> np.ndarray:
-        """Number of interested subscribers per hyper-cell."""
+        """Number of interested subscribers per hyper-cell (weighted
+        columns count their multiplicity)."""
+        if self.weights is not None:
+            return self.membership.astype(np.int64) @ self.weights
         return self.membership.sum(axis=1)
 
     @property
@@ -153,6 +168,7 @@ class CellSet:
             probs=self.probs[order],
             cell_ids=cell_ids,
             hypercell_of_cell=mapping,
+            weights=self.weights,
         )
         if self._packed is not None:
             subset._packed = self._packed.take(order)
@@ -205,6 +221,7 @@ def cell_set_from_membership(
     membership: np.ndarray,
     cell_pmf: np.ndarray,
     max_cells: Optional[int] = None,
+    weights: Optional[np.ndarray] = None,
 ) -> CellSet:
     """Steps 2-4 of :func:`build_cell_set` on a prebuilt membership matrix.
 
@@ -252,6 +269,7 @@ def cell_set_from_membership(
         probs=probs,
         cell_ids=cell_ids,
         hypercell_of_cell=mapping,
+        weights=weights,
     )
     if max_cells is not None:
         cells = cells.top_by_popularity(max_cells)

@@ -89,6 +89,9 @@ class SoakConfig:
     #: single-consumer service; kept explicit so the CLI surface matches
     #: the parallel sweep engine's, but only 1 is implemented
     workers: int = 1
+    #: refit on subscription aggregates (identical rectangles collapsed
+    #: to weighted columns); byte-identical reports, cheaper fits
+    aggregate: bool = False
 
     def __post_init__(self) -> None:
         if self.n_events < 1:
@@ -215,6 +218,7 @@ class SoakResult:
                 "queue_capacity": self.config.queue_capacity,
                 "policy": self.config.policy,
                 "drift_threshold": self.config.drift_threshold,
+                "aggregate": self.config.aggregate,
             },
         }
         if self.waste_ratio is not None:
@@ -299,6 +303,7 @@ def _build_broker(config: SoakConfig, scenario) -> ContentBroker:
         rebalance_after=10**9,
         drift_threshold=config.drift_threshold,
         delta_cells=True,
+        aggregate=config.aggregate,
     )
     broker = ContentBroker(
         scenario.routing,

@@ -1,15 +1,18 @@
 """Save/load for the pipeline's expensive artefacts (.npz format):
-topologies, subscription sets, hyper-cell sets, clusterings, No-Loss
-region lists and online-runtime checkpoints."""
+topologies, subscription sets, subscription aggregates, hyper-cell
+sets, clusterings, No-Loss region lists and online-runtime
+checkpoints."""
 
 from .io import (
     OnlineState,
+    load_aggregates,
     load_cell_set,
     load_clustering,
     load_noloss_result,
     load_online_state,
     load_subscriptions,
     load_topology,
+    save_aggregates,
     save_cell_set,
     save_clustering,
     save_noloss_result,
@@ -20,12 +23,14 @@ from .io import (
 
 __all__ = [
     "OnlineState",
+    "load_aggregates",
     "load_cell_set",
     "load_clustering",
     "load_noloss_result",
     "load_online_state",
     "load_subscriptions",
     "load_topology",
+    "save_aggregates",
     "save_cell_set",
     "save_clustering",
     "save_noloss_result",

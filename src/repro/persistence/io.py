@@ -13,10 +13,11 @@ offset arrays.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..aggregation import AggregateSet
 from ..clustering import Clustering, NoLossResult
 from ..geometry import Dimension, EventSpace, Rectangle
 from ..grid import CellSet
@@ -29,6 +30,8 @@ __all__ = [
     "load_topology",
     "save_subscriptions",
     "load_subscriptions",
+    "save_aggregates",
+    "load_aggregates",
     "save_cell_set",
     "load_cell_set",
     "save_clustering",
@@ -147,16 +150,26 @@ def load_topology(path) -> Topology:
 # ----------------------------------------------------------------------
 # subscriptions
 # ----------------------------------------------------------------------
-def save_subscriptions(subscriptions: SubscriptionSet, path) -> None:
+def save_subscriptions(
+    subscriptions: SubscriptionSet, path
+) -> Optional[np.ndarray]:
     """Persist a rectangle subscription set (with its event space).
 
     A set that saw online churn (deactivated subscribers hold sentinel
     never-matching bounds) is compacted first: only the active
     subscriptions are written, renumbered densely, so the file always
     round-trips through :func:`load_subscriptions`.
+
+    Returns the old→new subscriber id mapping of that compaction
+    (departed ids map to ``-1``), or ``None`` when no compaction was
+    needed.  A clustering saved alongside must be renumbered with the
+    same mapping — pass it to :func:`save_clustering` as
+    ``subscriber_mapping`` — or the restored pair's subscriber columns
+    will be misaligned.
     """
+    mapping: Optional[np.ndarray] = None
     if subscriptions.n_active_subscribers != subscriptions.n_subscribers:
-        subscriptions, _ = subscriptions.compact()
+        subscriptions, mapping = subscriptions.compact()
     los, his = subscriptions.bounds()
     owners = np.array(
         [s.subscriber for s in subscriptions.subscriptions], dtype=np.int64
@@ -172,6 +185,7 @@ def save_subscriptions(subscriptions: SubscriptionSet, path) -> None:
         owners=owners,
         nodes=nodes,
     )
+    return mapping
 
 
 def load_subscriptions(path) -> SubscriptionSet:
@@ -192,11 +206,64 @@ def load_subscriptions(path) -> SubscriptionSet:
 
 
 # ----------------------------------------------------------------------
+# subscription aggregates
+# ----------------------------------------------------------------------
+def save_aggregates(aggregates: AggregateSet, path) -> None:
+    """Persist a subscription aggregate structure (checkpointing the
+    offline aggregation pass so online brokers can restore it without
+    re-running the containment analysis)."""
+    member_flat, member_offsets = _pack_ragged(list(aggregates.members))
+    owner_flat, owner_offsets = _pack_ragged(list(aggregates.owners))
+    _save(
+        path,
+        {
+            "kind": "aggregates",
+            "n_subscriptions": aggregates.n_subscriptions,
+        },
+        los=aggregates.los,
+        his=aggregates.his,
+        member_flat=member_flat,
+        member_offsets=member_offsets,
+        owner_flat=owner_flat,
+        owner_offsets=owner_offsets,
+        agg_of_row=aggregates.agg_of_row,
+        multiplicity=aggregates.multiplicity,
+        parent=aggregates.parent,
+    )
+
+
+def load_aggregates(path) -> AggregateSet:
+    meta, arrays = _load(path)
+    _check_kind(meta, "aggregates")
+    return AggregateSet(
+        los=arrays["los"],
+        his=arrays["his"],
+        members=tuple(
+            _unpack_ragged(arrays["member_flat"], arrays["member_offsets"])
+        ),
+        owners=tuple(
+            _unpack_ragged(arrays["owner_flat"], arrays["owner_offsets"])
+        ),
+        agg_of_row=arrays["agg_of_row"],
+        multiplicity=arrays["multiplicity"],
+        parent=arrays["parent"],
+        n_subscriptions=int(meta["n_subscriptions"]),
+    )
+
+
+# ----------------------------------------------------------------------
 # cell sets
 # ----------------------------------------------------------------------
 def save_cell_set(cells: CellSet, path) -> None:
-    """Persist a hyper-cell set (membership bit-packed)."""
+    """Persist a hyper-cell set (membership bit-packed).
+
+    Aggregate-level sets (column ``weights`` set) persist the weights
+    alongside and restore as weighted sets.
+    """
     flat, offsets = _pack_ragged(cells.cell_ids)
+    extra = {}
+    if cells.weights is not None:
+        extra["weights"] = np.asarray(cells.weights, dtype=np.int64)
     _save(
         path,
         {
@@ -209,6 +276,7 @@ def save_cell_set(cells: CellSet, path) -> None:
         cell_flat=flat,
         cell_offsets=offsets,
         hypercell_of_cell=cells.hypercell_of_cell,
+        **extra,
     )
 
 
@@ -228,28 +296,61 @@ def load_cell_set(path) -> CellSet:
             arrays["cell_flat"], arrays["cell_offsets"]
         ),
         hypercell_of_cell=arrays["hypercell_of_cell"],
+        weights=arrays.get("weights"),
     )
 
 
 # ----------------------------------------------------------------------
 # clusterings
 # ----------------------------------------------------------------------
-def save_clustering(clustering: Clustering, path) -> None:
-    """Persist a clustering together with its cell set."""
-    flat, offsets = _pack_ragged(clustering.cells.cell_ids)
+def save_clustering(
+    clustering: Clustering,
+    path,
+    subscriber_mapping: Optional[np.ndarray] = None,
+) -> None:
+    """Persist a clustering together with its cell set.
+
+    ``subscriber_mapping`` is the old→new id map returned by
+    :func:`save_subscriptions` when it compacted a churned set (``-1``
+    marks departed ids).  Passing it renumbers the membership columns
+    the same way, so the two files restore to an aligned pair.  The
+    mapping preserves relative id order, so the surviving columns are
+    simply selected in place.
+    """
+    cells = clustering.cells
+    membership = cells.membership
+    n_subscribers = cells.n_subscribers
+    if subscriber_mapping is not None:
+        if cells.weights is not None:
+            raise ValueError(
+                "aggregate-level clusterings (weighted columns) cannot be "
+                "renumbered by subscriber id"
+            )
+        mapping = np.asarray(subscriber_mapping, dtype=np.int64)
+        if mapping.shape != (n_subscribers,):
+            raise ValueError(
+                "subscriber_mapping must cover every membership column"
+            )
+        membership = np.ascontiguousarray(membership[:, mapping >= 0])
+        n_subscribers = membership.shape[1]
+    flat, offsets = _pack_ragged(cells.cell_ids)
+    extra = {}
+    if cells.weights is not None:
+        extra["weights"] = np.asarray(cells.weights, dtype=np.int64)
     _save(
         path,
         {
             "kind": "clustering",
-            "space": _space_meta(clustering.cells.space),
-            "n_subscribers": clustering.cells.n_subscribers,
+            "space": _space_meta(cells.space),
+            "n_subscribers": n_subscribers,
         },
-        membership=np.packbits(clustering.cells.membership, axis=1),
-        probs=clustering.cells.probs,
+        membership=np.packbits(membership, axis=1),
+        probs=cells.probs,
         cell_flat=flat,
         cell_offsets=offsets,
-        hypercell_of_cell=clustering.cells.hypercell_of_cell,
+        hypercell_of_cell=cells.hypercell_of_cell,
         assignment=clustering.assignment,
+        **extra,
     )
 
 
@@ -269,6 +370,7 @@ def load_clustering(path) -> Clustering:
             arrays["cell_flat"], arrays["cell_offsets"]
         ),
         hypercell_of_cell=arrays["hypercell_of_cell"],
+        weights=arrays.get("weights"),
     )
     return Clustering(cells, arrays["assignment"])
 

@@ -122,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate a JSON SLO spec (path or inline JSON) over the "
         "run's virtual-time signals and print the objective table",
     )
+    # subscription-aggregation flag shared by the fitting sub-commands
+    agg_flags = argparse.ArgumentParser(add_help=False)
+    agg_flags.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="collapse identical subscription rectangles into weighted "
+        "aggregates before clustering (byte-identical results; see "
+        "docs/aggregation.md)",
+    )
     # worker-pool flag shared by the parallelisable sub-commands
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument(
@@ -145,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "fig7",
         help="improvement % vs number of groups",
-        parents=[obs, pool],
+        parents=[obs, pool, agg_flags],
     )
     p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
     p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
@@ -190,7 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="parallel sweep over algorithm x group-count cells",
-        parents=[obs, pool, slo_flags],
+        parents=[obs, pool, slo_flags, agg_flags],
     )
     p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
     p.add_argument("--subs", type=int, default=1000,
@@ -220,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="replay a churn+publication stream through the online "
         "streaming runtime",
-        parents=[obs, pool, slo_flags],
+        parents=[obs, pool, slo_flags, agg_flags],
     )
     p.add_argument(
         "--flight",
@@ -405,6 +414,7 @@ def _run_command(args: argparse.Namespace) -> None:
             noloss=not args.no_noloss,
             seed=args.seed,
             workers=default_workers(args.workers) if args.workers != 1 else 1,
+            aggregate=args.aggregate,
         )
         print(format_results(results))
         if args.chart:
@@ -486,6 +496,7 @@ def _run_serve(args: argparse.Namespace) -> None:
         policy=args.policy,
         queue_rate=args.queue_rate,
         workers=args.workers,
+        aggregate=args.aggregate,
     )
     result = run_soak(config, flight=args.flight, slo=slo_engine)
     # the report carries virtual-clock numbers only: byte-identical
@@ -540,11 +551,14 @@ def _run_sweep(args: argparse.Namespace) -> None:
         modes=args.modes, n_subscriptions=args.subs, seed=args.seed
     )
     scenario = build_evaluation_scenario(**scenario_kwargs)
-    ctx = ExperimentContext(scenario, n_events=args.events)
+    ctx = ExperimentContext(
+        scenario, n_events=args.events, aggregate=args.aggregate
+    )
     factory = ContextFactory(
         builder="evaluation",
         kwargs=tuple(sorted(scenario_kwargs.items())),
         n_events=args.events,
+        aggregate=args.aggregate,
     )
     cells = plan_cells(
         args.groups, algorithms, schemes=schemes,
@@ -584,6 +598,7 @@ def _run_sweep(args: argparse.Namespace) -> None:
                 "groups": args.groups, "algorithms": list(algorithms),
                 "schemes": list(schemes), "events": args.events,
                 "seed": args.seed, "noloss": args.noloss,
+                "aggregate": args.aggregate,
             },
         }
         with open(args.bench, "w") as handle:

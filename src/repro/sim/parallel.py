@@ -151,6 +151,7 @@ class ContextFactory:
     kwargs: Tuple[Tuple[str, object], ...] = ()
     n_events: int = 200
     event_seed: Optional[int] = None
+    aggregate: bool = False
 
     def __call__(self) -> ExperimentContext:
         builders = {
@@ -159,7 +160,10 @@ class ContextFactory:
         }
         scenario = builders[self.builder](**dict(self.kwargs))
         return ExperimentContext(
-            scenario, n_events=self.n_events, event_seed=self.event_seed
+            scenario,
+            n_events=self.n_events,
+            event_seed=self.event_seed,
+            aggregate=self.aggregate,
         )
 
 

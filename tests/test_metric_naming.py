@@ -30,7 +30,8 @@ _SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
 #: every label key any instrument in the tree is allowed to use
 LABEL_ALLOWLIST = frozenset({
     "algorithm", "cache", "instance", "kind", "matcher", "mode",
-    "outcome", "phase", "queue", "reason", "result", "scheme", "stream",
+    "outcome", "path", "phase", "queue", "reason", "result", "scheme",
+    "stream",
 })
 
 
@@ -93,6 +94,7 @@ class TestRuntimeLabels:
         config = SoakConfig(
             n_events=120, seed=3, n_nodes=100, n_subscriptions=60,
             n_groups=8, max_cells=150, churn_fraction=0.1, policy="block",
+            aggregate=True,  # exercises the aggregation gauges (path=...)
         )
         spec = [
             {"name": "latency-p95", "signal": "latency", "stat": "p95",

@@ -213,6 +213,188 @@ class TestSubscriptionChurnRoundTrip:
             )
 
 
+class TestCompactionMappingRegression:
+    """`save_subscriptions` compacts churned sets to their live rows; a
+    clustering fitted *before* the churn keeps one column per original
+    subscriber.  Persisting the two without re-aligning the columns used
+    to produce a checkpoint whose clustering referenced the pre-compaction
+    ids — the mapping returned by `save_subscriptions` plus the
+    `subscriber_mapping` argument of `save_clustering` is the fix."""
+
+    def _churned(self, small_subscriptions, small_publications):
+        from repro.workload import Subscription, SubscriptionSet
+
+        base = small_subscriptions
+        subs = SubscriptionSet(
+            base.space,
+            [
+                Subscription(s.subscriber, s.node, s.rectangle)
+                for s in base.subscriptions
+            ],
+        )
+        cells = build_cell_set(
+            subs.space, subs, small_publications.cell_pmf(), max_cells=150
+        )
+        clustering = ForgyKMeansClustering().fit(
+            cells, 6, rng=np.random.default_rng(4)
+        )
+        for victim in (2, 7, 31, 44):
+            subs.deactivate(victim)
+        return subs, clustering
+
+    def test_mapping_is_none_without_churn(self, small_subscriptions, path):
+        assert save_subscriptions(small_subscriptions, path) is None
+
+    def test_mapping_marks_departed(
+        self, small_subscriptions, small_publications, path
+    ):
+        subs, _ = self._churned(small_subscriptions, small_publications)
+        mapping = save_subscriptions(subs, path)
+        assert mapping is not None
+        assert mapping.shape == (subs.n_subscribers,)
+        for victim in (2, 7, 31, 44):
+            assert mapping[victim] == -1
+        live = mapping[mapping >= 0]
+        np.testing.assert_array_equal(np.sort(live), np.arange(len(live)))
+
+    def test_checkpoint_pair_stays_aligned(
+        self, small_subscriptions, small_publications, tmp_path
+    ):
+        """The regression: a (subscriptions, clustering) checkpoint of a
+        churned set must reload as an aligned pair."""
+        from repro.matching import GridMatcher
+
+        subs, clustering = self._churned(
+            small_subscriptions, small_publications
+        )
+        subs_path = tmp_path / "subs.npz"
+        clus_path = tmp_path / "clustering.npz"
+        mapping = save_subscriptions(subs, subs_path)
+        save_clustering(clustering, clus_path, subscriber_mapping=mapping)
+        loaded_subs = load_subscriptions(subs_path)
+        loaded_clustering = load_clustering(clus_path)
+        assert (
+            loaded_clustering.cells.n_subscribers
+            == loaded_subs.n_subscribers
+        )
+        # ground truth: the same churn applied in memory
+        compacted, _ = subs.compact()
+        reference = GridMatcher(clustering, subs)
+        restored = GridMatcher(loaded_clustering, loaded_subs)
+        rng = np.random.default_rng(9)
+        id_of = {old: new for old, new in enumerate(mapping) if new >= 0}
+        for _ in range(25):
+            point = tuple(rng.uniform(-1, 21, size=4))
+            np.testing.assert_array_equal(
+                restored.match(point).interested,
+                compacted.interested_subscribers(point),
+            )
+            # and the restored plan is the old plan renumbered
+            old_plan = reference.match(point)
+            expected = np.sort(
+                [
+                    id_of[int(s)]
+                    for s in old_plan.interested
+                    if int(s) in id_of
+                ]
+            )
+            np.testing.assert_array_equal(
+                restored.match(point).interested, expected
+            )
+
+    def test_mapping_shape_validated(
+        self, small_subscriptions, small_publications, path
+    ):
+        _, clustering = self._churned(
+            small_subscriptions, small_publications
+        )
+        with pytest.raises(ValueError, match="mapping"):
+            save_clustering(
+                clustering,
+                path,
+                subscriber_mapping=np.array([0, 1, -1], dtype=np.int64),
+            )
+
+
+class TestWeightedCellSetRoundTrip:
+    @pytest.fixture()
+    def weighted(self, tiny_space):
+        from tests.helpers import make_subscription_set
+
+        from repro.aggregation import (
+            aggregate_subscriptions,
+            build_aggregate_cells,
+        )
+
+        spec = [(-1, 2), (-1, 2)]
+        big = [(-1, 4), (-1, 4)]
+        subs = make_subscription_set(
+            tiny_space, [(0, spec), (1, big), (2, spec), (0, big), (1, spec)]
+        )
+        pmf = np.full(tiny_space.n_cells, 1.0 / tiny_space.n_cells)
+        agg = aggregate_subscriptions(subs)
+        agg_cells, _ = build_aggregate_cells(tiny_space, subs, agg, pmf)
+        return agg, agg_cells
+
+    def test_weights_round_trip(self, weighted, path):
+        _, agg_cells = weighted
+        assert agg_cells.weights is not None
+        save_cell_set(agg_cells, path)
+        loaded = load_cell_set(path)
+        np.testing.assert_array_equal(loaded.weights, agg_cells.weights)
+        np.testing.assert_array_equal(loaded.sizes, agg_cells.sizes)
+
+    def test_weighted_clustering_round_trip(self, weighted, path):
+        _, agg_cells = weighted
+        clustering = ForgyKMeansClustering().fit(
+            agg_cells, 2, rng=np.random.default_rng(0)
+        )
+        save_clustering(clustering, path)
+        loaded = load_clustering(path)
+        np.testing.assert_array_equal(
+            loaded.cells.weights, agg_cells.weights
+        )
+        assert loaded.total_expected_waste() == pytest.approx(
+            clustering.total_expected_waste()
+        )
+
+    def test_weighted_clustering_rejects_mapping(self, weighted, path):
+        """Aggregate-level columns are not subscriber columns; remapping
+        them with a subscriber mapping would corrupt the checkpoint."""
+        _, agg_cells = weighted
+        clustering = ForgyKMeansClustering().fit(
+            agg_cells, 2, rng=np.random.default_rng(0)
+        )
+        mapping = np.arange(agg_cells.n_subscribers, dtype=np.int64)
+        with pytest.raises(ValueError, match="weighted"):
+            save_clustering(clustering, path, subscriber_mapping=mapping)
+
+    def test_aggregates_round_trip(self, weighted, path):
+        from repro.persistence import load_aggregates, save_aggregates
+
+        agg, _ = weighted
+        save_aggregates(agg, path)
+        loaded = load_aggregates(path)
+        np.testing.assert_array_equal(loaded.los, agg.los)
+        np.testing.assert_array_equal(loaded.his, agg.his)
+        np.testing.assert_array_equal(loaded.multiplicity, agg.multiplicity)
+        np.testing.assert_array_equal(loaded.parent, agg.parent)
+        np.testing.assert_array_equal(loaded.agg_of_row, agg.agg_of_row)
+        assert loaded.n_subscriptions == agg.n_subscriptions
+        assert len(loaded.members) == len(agg.members)
+        for a, b in zip(loaded.members, agg.members):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(loaded.owners, agg.owners):
+            np.testing.assert_array_equal(a, b)
+
+    def test_aggregates_kind_guard(self, small_topology, path):
+        from repro.persistence import load_aggregates
+
+        save_topology(small_topology, path)
+        with pytest.raises(ValueError):
+            load_aggregates(path)
+
+
 class TestOnlineStateRoundTrip:
     @pytest.fixture()
     def online(self, small_topology):
