@@ -150,6 +150,9 @@ class ContentBroker:
         self._clustering = None
         self._internal_of: Dict[int, int] = {}
         self._external_of: List[int] = []
+        #: internal ids matched by the most recent publish() — lets
+        #: callers account per-subscriber outcomes without re-matching
+        self.last_interested: List[int] = []
         self._policy: Optional[AdaptiveDeliveryPolicy] = None
         self._scheduler = RebuildScheduler(
             debounce=self.config.rebuild_debounce,
@@ -353,6 +356,13 @@ class ContentBroker:
         """Add an attached handle to one multicast group in place."""
         if self._clustering is None:
             raise RuntimeError("no live grouping; rebuild() first")
+        # the group's pre-join member column backs dispatcher memo
+        # entries that become unreachable (and, after a renumbering,
+        # wrong) the moment the column mutates: drop them surgically
+        if self._dispatcher is not None:
+            self._dispatcher.invalidate_members(
+                self._clustering.subscribers_of_group(group)
+            )
         self._clustering.add_member(group, self._internal_of[handle])
 
     def apply_leave(self, handle: int) -> int:
@@ -365,6 +375,11 @@ class ContentBroker:
             raise RuntimeError("no live runtime; rebuild() first")
         internal = self._internal_of[handle]
         if self._clustering is not None:
+            if self._dispatcher is not None:
+                for group in self._clustering.groups_of_subscriber(internal):
+                    self._dispatcher.invalidate_members(
+                        self._clustering.subscribers_of_group(int(group))
+                    )
             self._clustering.remove_member(internal)
         self._subscriptions.deactivate(internal)
         return internal
@@ -599,6 +614,7 @@ class ContentBroker:
         if now is not None:
             self.tick(now)
         if not self._active:
+            self.last_interested = []
             receipt = DeliveryReceipt(0, False, 0.0, 0.0, 0.0, 0)
             self.stats.record(0.0, 0.0, 0.0, False, 0, 0)
             return receipt
@@ -607,6 +623,7 @@ class ContentBroker:
             return self._publish_degraded(point, publisher)
         plan = self._matcher.match(point)
         plan.validate_complete()
+        self.last_interested = list(plan.interested)
         flight = get_flight_recorder()
         recording = flight.active
         if recording:
@@ -698,6 +715,7 @@ class ContentBroker:
         """
         plan = self._matcher.match(point)
         plan.validate_complete()
+        self.last_interested = list(plan.interested)
         flight = get_flight_recorder()
         if flight.active:
             flight.stage(

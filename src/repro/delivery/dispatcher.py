@@ -198,6 +198,38 @@ class Dispatcher:
             frozenset(sources) if sources is not None else None
         )
 
+    def invalidate_members(self, members: Sequence[int]) -> None:
+        """Surgically drop the memo entries of one pre-change member set.
+
+        Online churn mutates a group's member column in place (a join
+        splices a subscriber in, a leave removes it, and under
+        aggregation a split/merge re-shapes the columns the matcher
+        serves).  The old column's byte key can never be looked up
+        again — but a *renumbering* of subscriber ids (compaction, an
+        aggregate split re-using a column shape) can mint the same byte
+        key for a different population, at which point the retained
+        ``group_nodes`` entry silently resolves to the wrong nodes and
+        every ``(publisher, node-set)`` cost derived from it prices the
+        wrong trees.  The broker calls this with the column as it was
+        *before* the mutation; both the node-set entry and the cost
+        entries priced from it are dropped, counted as invalidations
+        (the entry became wrong) rather than evictions (capacity
+        pressure).
+        """
+        arr = np.asarray(members, dtype=np.int64)
+        nodes = self._group_nodes_cache.pop(arr.tobytes(), None)
+        if nodes is None:
+            return
+        self._nodes_invalidations.inc()
+        stale_nodes = nodes.tobytes()
+        stale = [
+            key for key in self._group_cost_cache if key[1] == stale_nodes
+        ]
+        for key in stale:
+            del self._group_cost_cache[key]
+        if stale:
+            self._cost_invalidations.inc(len(stale))
+
     # ------------------------------------------------------------------
     def plan_cost(self, publisher: int, plan: DeliveryPlan) -> float:
         """Network cost of executing ``plan`` from ``publisher``."""

@@ -1,0 +1,164 @@
+"""Fleet-level budget control: split one global K across shards.
+
+The fleet has one global multicast-group budget ``K`` (the paper's
+number of groups); the coordinator decides how many groups each shard's
+clustering may use.  The split is proportional to the *measured*
+per-shard expected waste — a shard whose grouping wastes more deliveries
+gets more groups to split its traffic with — computed by largest
+remainder with a floor of one group per shard, so the budget is
+conserved exactly and every shard can always form at least one group.
+
+Rebalancing reuses the online runtime's drift semantics
+(:class:`~repro.broker.rebuild.RebuildScheduler`): after every epoch the
+coordinator feeds the worst waste-vs-budget *misalignment* ratio
+``max_s (waste_share_s / budget_share_s)`` into ``note_drift``; once it
+crosses the threshold the scheduler declares a rebalance due (still
+gated by its backoff) and the next epoch's shards refit cold on the new
+split.  A perfectly proportional split has misalignment 1.0 — the same
+fixed point as the maintainer's waste-inflation ratio.
+
+Fleet counters and per-shard gauges go to :mod:`repro.obs` under the
+``shard`` label so a fleet run's registry dump shows the budget and
+waste per shard next to the rebalance count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..broker.rebuild import RebuildScheduler
+from ..obs import get_registry
+
+__all__ = ["FleetCoordinator", "proportional_split"]
+
+
+def proportional_split(
+    total: int, weights: Sequence[float], minimum: int = 1
+) -> List[int]:
+    """Split ``total`` integer units proportionally to ``weights``.
+
+    Largest-remainder apportionment over ``total - n*minimum`` units on
+    top of a ``minimum`` floor per entry; remainder ties break to the
+    lowest index.  All-zero (or negative-clipped) weights fall back to
+    an equal split.  The parts always sum to ``total`` exactly.
+    """
+    n = len(weights)
+    if n == 0:
+        raise ValueError("need at least one weight")
+    if total < n * minimum:
+        raise ValueError(
+            f"cannot give {n} shards {minimum} group(s) each from a "
+            f"budget of {total}"
+        )
+    spare = total - n * minimum
+    clipped = [max(0.0, float(w)) for w in weights]
+    mass = sum(clipped)
+    if mass <= 0.0:
+        clipped = [1.0] * n
+        mass = float(n)
+    quotas = [spare * w / mass for w in clipped]
+    parts = [int(q) for q in quotas]
+    leftover = spare - sum(parts)
+    # largest remainder first; ties to the lowest shard id
+    order = sorted(range(n), key=lambda i: (-(quotas[i] - parts[i]), i))
+    for i in order[:leftover]:
+        parts[i] += 1
+    return [minimum + p for p in parts]
+
+
+class FleetCoordinator:
+    """Owns the global K budget and the epoch rebalance decision."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        total_groups: int,
+        rebalance_threshold: Optional[float] = 1.25,
+        backoff_base: float = 0.0,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if total_groups < n_shards:
+            raise ValueError(
+                "the global group budget must cover one group per shard"
+            )
+        self.n_shards = int(n_shards)
+        self.total_groups = int(total_groups)
+        self.split: List[int] = proportional_split(
+            total_groups, [1.0] * n_shards
+        )
+        self.rebalances = 0
+        self._scheduler = RebuildScheduler(
+            backoff_base=backoff_base,
+            drift_threshold=rebalance_threshold,
+        )
+        registry = get_registry()
+        self._rebalances_total = registry.counter(
+            "fleet_rebalances_total",
+            "coordinator K-budget rebalances across epochs",
+        )
+        self._k_gauge = registry.gauge(
+            "fleet_k_budget", "multicast-group budget per shard"
+        )
+        self._waste_gauge = registry.gauge(
+            "fleet_shard_waste", "measured expected waste per shard"
+        )
+        self._misalignment_gauge = registry.gauge(
+            "fleet_budget_misalignment",
+            "worst per-shard waste share over budget share",
+        )
+        self._publish_split()
+
+    # ------------------------------------------------------------------
+    def _publish_split(self) -> None:
+        for shard, k in enumerate(self.split):
+            self._k_gauge.set(float(k), shard=str(shard))
+
+    def misalignment(self, wastes: Sequence[float]) -> float:
+        """Worst waste-share over budget-share ratio of the fleet.
+
+        1.0 means the split is exactly waste-proportional; the ratio
+        grows as waste concentrates on under-budgeted shards.  Zero
+        total waste is perfectly aligned by definition.
+        """
+        total = sum(max(0.0, w) for w in wastes)
+        if total <= 0.0:
+            return 1.0
+        worst = 0.0
+        for shard, waste in enumerate(wastes):
+            waste_share = max(0.0, waste) / total
+            budget_share = self.split[shard] / self.total_groups
+            worst = max(worst, waste_share / budget_share)
+        return worst
+
+    def note_epoch(
+        self, now: float, wastes: Sequence[float]
+    ) -> Optional[List[int]]:
+        """Report one epoch's per-shard measured waste.
+
+        Returns the new split when the accumulated misalignment crossed
+        the threshold (the caller refits the changed shards cold), else
+        ``None``.  Mirrors the maintainer → ``RebuildScheduler`` drift
+        protocol: measurements accumulate (worst retained) and the
+        trigger is backoff-gated.
+        """
+        if len(wastes) != self.n_shards:
+            raise ValueError("need one waste measurement per shard")
+        for shard, waste in enumerate(wastes):
+            self._waste_gauge.set(float(waste), shard=str(shard))
+        ratio = self.misalignment(wastes)
+        self._misalignment_gauge.set(ratio)
+        # misalignment is a ratio >= some positive value; clamp to the
+        # scheduler's >= 0 domain explicitly for clarity
+        self._scheduler.note_drift(now, max(0.0, ratio))
+        if not self._scheduler.drift_due(now):
+            return None
+        new_split = proportional_split(self.total_groups, list(wastes))
+        self._scheduler.fired(now)
+        if new_split == self.split:
+            return None
+        self.split = new_split
+        self.rebalances += 1
+        self._rebalances_total.inc()
+        self._publish_split()
+        return list(new_split)

@@ -1,0 +1,222 @@
+"""Per-shard runtime: the broker service under fleet routing.
+
+A shard runs the exact online stack — :class:`~repro.broker.ContentBroker`
++ :class:`~repro.online.maintainer.ClusterMaintainer` +
+:class:`~repro.online.service.BrokerService` bounded queues — but its
+churn arrives pre-routed: the fleet driver resolves every leave to a
+concrete global subscription id (gid) before dispatch, so shards never
+see the single-broker stream's positional ``ChurnLeave`` indices (which
+would be meaningless against a partial live set).
+
+Cross-shard subscriptions (rectangles overlapping cells owned by
+several shards) follow one of two policies:
+
+* ``replicate`` — the subscription is a *full member* at every
+  overlapped shard: it joins the waste-minimising multicast group
+  locally, exactly as a home registration.  Publications pay group
+  (multicast) cost everywhere; no per-event coordination.
+* ``forward`` — the subscription joins a group only at its *home* shard
+  (the one owning most of its publication mass); other overlapped
+  shards register it match-only (subscribe + attach, no group), where
+  the matcher's unicast top-up serves it.  Remote deliveries are
+  counted as forwards: the explicit cross-shard cost of keeping the
+  remote grouping untouched.
+
+Under ``forward`` a shard-local refit would silently promote match-only
+registrations into groups (the clustering refits over *all* live
+columns); :class:`ShardMaintainer` scrubs their memberships before every
+baseline capture, keeping the policy invariant across drift-triggered
+rebuilds.
+
+With one shard and no forward registrations, :class:`ShardService`
+processes a stream byte-identically to
+:class:`~repro.online.service.BrokerService` — the degenerate fleet is
+the single-broker soak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..geometry import Rectangle
+from ..online.maintainer import ClusterMaintainer
+from ..online.service import BrokerService, Publish, StreamEvent
+
+__all__ = [
+    "FLEET_POLICIES",
+    "FleetJoin",
+    "FleetLeave",
+    "ShardMaintainer",
+    "ShardService",
+]
+
+FLEET_POLICIES = ("replicate", "forward")
+
+
+@dataclass(frozen=True)
+class FleetJoin:
+    """A join routed to one shard, identified fleet-wide by ``gid``.
+
+    ``member`` distinguishes a full (group-joining) registration from a
+    ``forward``-policy match-only registration at a non-home shard.
+    """
+
+    gid: int
+    node: int
+    rectangle: Rectangle
+    member: bool = True
+
+
+@dataclass(frozen=True)
+class FleetLeave:
+    """A leave routed to every shard holding ``gid`` (-1 = fleet noop:
+    the global live set was empty when the leave was resolved)."""
+
+    gid: int
+
+
+class ShardMaintainer(ClusterMaintainer):
+    """Maintainer that keeps forward registrations out of the groups.
+
+    ``forward_handles`` is populated by the owning :class:`ShardService`
+    (broker handles, not internal ids — rebuilds renumber internals);
+    :meth:`capture` (run after every rebuild, including the initial one)
+    strips those subscribers' group memberships *before* re-basing the
+    drift baseline, so the captured fit waste never charges for members
+    the forward policy serves by unicast.
+    """
+
+    def __post_init__(self) -> None:
+        self.forward_handles: Set[int] = set()
+        super().__post_init__()
+
+    def capture(self) -> None:
+        clustering = self.broker.clustering
+        if clustering is not None and self.forward_handles:
+            dispatcher = self.broker._dispatcher
+            for handle in sorted(self.forward_handles):
+                internal = self.broker.internal_id(handle)
+                groups = clustering.groups_of_subscriber(internal)
+                if not len(groups):
+                    continue
+                if dispatcher is not None:
+                    for group in groups:
+                        dispatcher.invalidate_members(
+                            clustering.subscribers_of_group(int(group))
+                        )
+                clustering.remove_member(internal)
+        super().capture()
+
+
+class ShardService(BrokerService):
+    """One shard's broker service consuming pre-routed fleet events."""
+
+    def __init__(
+        self,
+        broker,
+        maintainer: ClusterMaintainer,
+        config=None,
+        slo=None,
+        shard_id: int = 0,
+        policy: str = "replicate",
+    ) -> None:
+        if policy not in FLEET_POLICIES:
+            raise ValueError(f"policy must be one of {FLEET_POLICIES}")
+        super().__init__(broker, maintainer, config, slo=slo)
+        self.shard_id = int(shard_id)
+        self.policy = policy
+        #: fleet-wide subscription id -> this shard's broker handle
+        self.handle_of_gid: Dict[int, int] = {}
+        #: gids registered match-only under the forward policy
+        self.forward_gids: Set[int] = set()
+        #: match-only registrations admitted / retired on this shard
+        self.forward_joins = 0
+        self.forward_leaves = 0
+        #: deliveries this shard served for forward registrations (the
+        #: cross-shard forwarding cost, in deliveries)
+        self.forwards = 0
+
+    # ------------------------------------------------------------------
+    def register_initial(
+        self, gid: int, handle: int, member: bool = True
+    ) -> None:
+        """Record one epoch-start registration (already subscribed)."""
+        self.handle_of_gid[gid] = handle
+        if not member:
+            self.forward_gids.add(gid)
+            self._track_forward(handle)
+
+    def _track_forward(self, handle: int) -> None:
+        maintainer = self.maintainer
+        if isinstance(maintainer, ShardMaintainer):
+            maintainer.forward_handles.add(handle)
+
+    def _untrack_forward(self, handle: int) -> None:
+        maintainer = self.maintainer
+        if isinstance(maintainer, ShardMaintainer):
+            maintainer.forward_handles.discard(handle)
+
+    # ------------------------------------------------------------------
+    def _process(self, event: StreamEvent, now: float) -> str:
+        payload = event.payload
+        if isinstance(payload, FleetJoin):
+            if payload.member:
+                # the single-broker join path, verbatim: group-assigned
+                # through the maintainer, drift sampled, rebuild gated
+                handle = self.maintainer.join(
+                    payload.node, payload.rectangle, now
+                )
+                self.live_handles.append(handle)
+                self._sample_inflation(now)
+                self.maintainer.maybe_rebuild(now)
+            else:
+                # forward policy, non-home shard: match-only — the
+                # unicast top-up serves it, no group membership, no
+                # drift contribution
+                broker = self.broker
+                handle = broker.subscribe(payload.node, payload.rectangle)
+                broker.attach(handle)
+                self.forward_gids.add(payload.gid)
+                self.forward_joins += 1
+                self._track_forward(handle)
+            self.handle_of_gid[payload.gid] = handle
+            return "joined"
+        if isinstance(payload, FleetLeave):
+            handle = self.handle_of_gid.pop(payload.gid, None)
+            if handle is None:
+                return "noop"
+            if payload.gid in self.forward_gids:
+                self.forward_gids.discard(payload.gid)
+                self._untrack_forward(handle)
+                broker = self.broker
+                broker.apply_leave(handle)
+                broker.unsubscribe(handle)
+                self.forward_leaves += 1
+            else:
+                self.live_handles.remove(handle)
+                self.maintainer.leave(handle, now)
+                self._sample_inflation(now)
+                self.maintainer.maybe_rebuild(now)
+            return "left"
+        if isinstance(payload, Publish) and self.forward_gids:
+            outcome = super()._process(event, now)
+            # cross-shard cost accounting: deliveries that went to
+            # match-only registrations were forwarded on behalf of
+            # another shard's grouping; the broker exposes the
+            # interested set it just matched, so no second match runs
+            maintainer = self.maintainer
+            if isinstance(maintainer, ShardMaintainer):
+                forward_handles = maintainer.forward_handles
+            else:
+                forward_handles = {
+                    self.handle_of_gid[gid] for gid in self.forward_gids
+                }
+            external_of = self.broker._external_of
+            self.forwards += sum(
+                1
+                for internal in self.broker.last_interested
+                if external_of[internal] in forward_handles
+            )
+            return outcome
+        return super()._process(event, now)

@@ -1,0 +1,922 @@
+"""Sharded fleet soak: one seeded stream across N broker shards.
+
+:func:`run_fleet` replays the *same* seeded churn+publication stream as
+:func:`repro.online.soak.run_soak`, but partitioned: a
+:class:`~repro.fleet.sharding.ShardMap` assigns every grid cell to one
+shard, publications route to the owner of their landing cell, and
+subscriptions register at every shard their rectangle overlaps (full
+members under ``replicate``, match-only outside home under ``forward``
+— see :mod:`repro.fleet.runtime`).
+
+**Leave resolution happens globally, before dispatch.**  The
+single-broker stream's :class:`~repro.online.service.ChurnLeave`
+carries a positional index into the service's live list; a shard only
+sees part of the population, so the fleet driver replays churn in
+arrival order against a global registry (seeded with the initial
+subscriptions, exactly like ``BrokerService.live_handles``) and resolves
+each leave to a concrete fleet-wide subscription id.  With one shard
+this reproduces the single-broker resolution decision for decision, so
+``shards=1`` is byte-identical to :func:`run_soak`.
+
+**Epochs are coordination barriers.**  The stream splits into
+``epochs`` contiguous slices; within a slice shards run independently
+(fanned across ``workers`` processes, or inline — same code path, same
+results).  At each barrier the :class:`~repro.fleet.coordinator.
+FleetCoordinator` collects per-shard measured waste, rebalances the
+global K budget when misalignment drifts past its threshold, and the
+next slice's shards refit cold from the live registration set under
+their (possibly new) budget.  Virtual clocks carry across barriers:
+``busy_until`` and the exact token-bucket state resume where the
+previous epoch stopped.
+
+Every number in :meth:`FleetResult.deterministic_report` is
+virtual-clock derived, hence byte-identical across runs and worker
+counts for the same configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..broker import BrokerConfig, ContentBroker
+from ..obs import (
+    FlightRecorder,
+    bench_stamp,
+    get_flight_recorder,
+    get_registry,
+    get_tracer,
+    reset_worker_state,
+    set_flight_recorder,
+)
+from ..online.queues import POLICIES, QueueConfig
+from ..online.service import (
+    ChurnJoin,
+    ChurnLeave,
+    Publish,
+    ServiceConfig,
+    ServiceResult,
+    StreamEvent,
+)
+from ..online.soak import (
+    SoakConfig,
+    SoakResult,
+    finalize_equivalence,
+    generate_stream,
+)
+from ..sim.scenario import build_preliminary_scenario
+from .coordinator import FleetCoordinator
+from .runtime import (
+    FLEET_POLICIES,
+    FleetJoin,
+    FleetLeave,
+    ShardMaintainer,
+    ShardService,
+)
+from .sharding import STRATEGIES, ShardMap
+
+__all__ = [
+    "FleetConfig",
+    "FleetResult",
+    "ShardSummary",
+    "route_fleet_stream",
+    "run_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet soak: the single-broker knobs plus the fleet's own."""
+
+    # single-broker soak surface (see repro.online.soak.SoakConfig)
+    n_events: int = 20000
+    seed: int = 7
+    rate: float = 800.0
+    service_rate: float = 1000.0
+    churn_fraction: float = 0.1
+    n_nodes: int = 100
+    n_subscriptions: int = 300
+    n_groups: int = 30
+    max_cells: Optional[int] = 600
+    drift_threshold: float = 1.25
+    queue_capacity: int = 256
+    policy: str = "block"
+    queue_rate: Optional[float] = None
+    aggregate: bool = False
+    # fleet surface
+    shards: int = 4
+    sharding: str = "hash"
+    fleet_policy: str = "replicate"
+    epochs: int = 1
+    workers: int = 1
+    #: misalignment ratio past which the coordinator resplits K
+    rebalance_threshold: float = 1.25
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.sharding not in STRATEGIES:
+            raise ValueError(f"sharding must be one of {STRATEGIES}")
+        if self.fleet_policy not in FLEET_POLICIES:
+            raise ValueError(
+                f"fleet_policy must be one of {FLEET_POLICIES}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+        if self.n_groups < self.shards:
+            raise ValueError(
+                "the global group budget must cover one group per shard"
+            )
+
+    def soak_config(self) -> SoakConfig:
+        """The equivalent single-broker configuration (stream seed)."""
+        return SoakConfig(
+            n_events=self.n_events,
+            seed=self.seed,
+            rate=self.rate,
+            service_rate=self.service_rate,
+            churn_fraction=self.churn_fraction,
+            n_nodes=self.n_nodes,
+            n_subscriptions=self.n_subscriptions,
+            n_groups=self.n_groups,
+            max_cells=self.max_cells,
+            drift_threshold=self.drift_threshold,
+            queue_capacity=self.queue_capacity,
+            policy=self.policy,
+            queue_rate=self.queue_rate,
+            aggregate=self.aggregate,
+        )
+
+
+# ----------------------------------------------------------------------
+# global routing pass
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Registration:
+    """Where one fleet-wide subscription id lives."""
+
+    gid: int
+    node: int
+    rectangle: object
+    shards: Tuple[int, ...]
+    home: int
+
+
+@dataclass
+class FleetPlan:
+    """The routed stream: per-epoch, per-shard event lists plus the
+    live registration set at every epoch start."""
+
+    scenario_name: str
+    #: events[epoch][shard] -> tuple of StreamEvents for that slice
+    events: List[List[List[StreamEvent]]]
+    #: live registrations (gid ascending) at each epoch start
+    live_at_epoch: List[List[_Registration]]
+    n_joins: int = 0
+    n_leaves: int = 0
+    n_noop_leaves: int = 0
+    #: joins/initials whose rectangle overlapped cells of >1 shard
+    n_cross_shard: int = 0
+
+
+def _route_registration(
+    gid: int, node: int, rectangle, scenario, shard_map: ShardMap
+) -> _Registration:
+    covered = scenario.space.cells_in_rectangle(rectangle)
+    shards = tuple(
+        int(s) for s in shard_map.shards_of_cells(covered)
+    ) or (0,)
+    home = (
+        shard_map.home_shard(covered, scenario.cell_pmf)
+        if len(covered)
+        else 0
+    )
+    return _Registration(gid, node, rectangle, shards, home)
+
+
+def route_fleet_stream(
+    config: FleetConfig, scenario, shard_map: ShardMap
+) -> FleetPlan:
+    """Resolve leaves globally and route every event to its shard(s).
+
+    Churn is replayed in arrival order against a registry seeded with
+    the initial subscription ids — the same order and the same
+    ``index % len(live)`` resolution the single-broker service applies,
+    so the degenerate one-shard plan reproduces its decisions exactly.
+    """
+    events = generate_stream(config.soak_config(), scenario)
+    ordered = sorted(events, key=lambda e: (e.time, e.stream != "churn"))
+    n_shards = shard_map.n_shards
+    replicate = config.fleet_policy == "replicate"
+
+    subs = scenario.subscriptions
+    nodes = subs.subscriber_nodes
+    registrations: Dict[int, _Registration] = {}
+    registry: List[int] = []
+    for gid, rectangle in enumerate(subs.rectangles()):
+        reg = _route_registration(
+            gid, int(nodes[gid]), rectangle, scenario, shard_map
+        )
+        registrations[gid] = reg
+        registry.append(gid)
+    next_gid = len(registry)
+
+    plan = FleetPlan(
+        scenario_name=scenario.name,
+        events=[],
+        live_at_epoch=[],
+        n_cross_shard=sum(
+            1 for reg in registrations.values() if len(reg.shards) > 1
+        ),
+    )
+    bounds = np.linspace(0, len(ordered), config.epochs + 1).astype(int)
+    for epoch in range(config.epochs):
+        plan.live_at_epoch.append(
+            [registrations[g] for g in sorted(registry)]
+        )
+        shard_events: List[List[StreamEvent]] = [[] for _ in range(n_shards)]
+        for event in ordered[bounds[epoch] : bounds[epoch + 1]]:
+            payload = event.payload
+            if isinstance(payload, ChurnJoin):
+                gid = next_gid
+                next_gid += 1
+                reg = _route_registration(
+                    gid, payload.node, payload.rectangle, scenario,
+                    shard_map,
+                )
+                registrations[gid] = reg
+                registry.append(gid)
+                plan.n_joins += 1
+                if len(reg.shards) > 1:
+                    plan.n_cross_shard += 1
+                for shard in reg.shards:
+                    member = replicate or shard == reg.home
+                    shard_events[shard].append(
+                        StreamEvent(
+                            event.time, "churn",
+                            FleetJoin(
+                                gid, payload.node, payload.rectangle,
+                                member=member,
+                            ),
+                        )
+                    )
+            elif isinstance(payload, ChurnLeave):
+                if not registry:
+                    # the single-broker service would no-op this leave;
+                    # shard 0 carries the noop so event counts conserve
+                    plan.n_noop_leaves += 1
+                    shard_events[0].append(
+                        StreamEvent(event.time, "churn", FleetLeave(-1))
+                    )
+                    continue
+                gid = registry.pop(payload.index % len(registry))
+                reg = registrations[gid]
+                plan.n_leaves += 1
+                for shard in reg.shards:
+                    shard_events[shard].append(
+                        StreamEvent(event.time, "churn", FleetLeave(gid))
+                    )
+            elif isinstance(payload, Publish):
+                owner = shard_map.shard_of_point(payload.point)
+                shard_events[owner].append(event)
+            else:
+                raise TypeError(
+                    f"unroutable payload {type(payload).__name__}"
+                )
+        plan.events.append(shard_events)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# shard tasks (pure functions of their picklable arguments)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one shard needs for one epoch, by value."""
+
+    shard: int
+    epoch: int
+    k: int
+    fleet_policy: str
+    scenario_kwargs: Tuple[Tuple[str, object], ...]
+    config: FleetConfig
+    #: (gid, node, rectangle, member) live at epoch start, gid ascending
+    registrations: Tuple[Tuple[int, int, object, bool], ...]
+    events: Tuple[StreamEvent, ...]
+    #: boolean owned-cell mask; None (single shard) = the full space.
+    #: The shard's broker sees the global pmf restricted to the cells it
+    #: owns — it never receives publications for the others, so both the
+    #: clustering objective and the measured expected waste are taken
+    #: against the shard's true event distribution.
+    owned_mask: Optional[np.ndarray] = None
+    busy_until: float = 0.0
+    #: exact (queue, tokens(n, d), last_refill(n, d)) carried states
+    token_states: Tuple[
+        Tuple[str, Tuple[int, int], Tuple[int, int]], ...
+    ] = ()
+    finalize: bool = False
+    flight: bool = False
+    slo_spec: Tuple[Tuple[Tuple[str, object], ...], ...] = ()
+    checkpoint_path: Optional[str] = None
+
+
+@dataclass
+class ShardOutcome:
+    """One shard-epoch's results (picklable, virtual-clock exact)."""
+
+    shard: int
+    epoch: int
+    k: int
+    service: ServiceResult
+    current_waste: float
+    fit_waste: float
+    busy_until: float
+    token_states: Tuple[
+        Tuple[str, Tuple[int, int], Tuple[int, int]], ...
+    ]
+    warm_waste: Optional[float] = None
+    cold_waste: Optional[float] = None
+    forwards: int = 0
+    forward_joins: int = 0
+    forward_leaves: int = 0
+    n_registrations: int = 0
+    seconds: float = 0.0
+    pid: int = 0
+    metrics: List[Dict] = field(default_factory=list)
+    spans: List[Dict] = field(default_factory=list)
+    flight_records: List[Dict] = field(default_factory=list)
+
+
+def _shard_broker_config(config: FleetConfig, k: int) -> BrokerConfig:
+    """Per-shard broker tuning: the soak's knobs with a split budget."""
+    return BrokerConfig(
+        n_groups=k,
+        max_cells=config.max_cells,
+        algorithm="forgy",
+        adaptive=True,
+        warm_start=True,
+        max_warm_iters=25,
+        rebalance_after=10**9,
+        drift_threshold=config.drift_threshold,
+        delta_cells=True,
+        aggregate=config.aggregate,
+    )
+
+
+def run_shard_task(task: ShardTask) -> ShardOutcome:
+    """Build one shard from its registrations and replay its slice."""
+    config = task.config
+    scenario = build_preliminary_scenario(**dict(task.scenario_kwargs))
+    cell_pmf = scenario.cell_pmf
+    if task.owned_mask is not None:
+        cell_pmf = np.where(task.owned_mask, cell_pmf, 0.0)
+    broker = ContentBroker(
+        scenario.routing,
+        scenario.space,
+        cell_pmf,
+        config=_shard_broker_config(config, task.k),
+    )
+    handles = [
+        broker.subscribe(node, rectangle)
+        for _, node, rectangle, _ in task.registrations
+    ]
+    broker.rebuild()
+    maintainer = ShardMaintainer(broker)
+    slo = None
+    if task.slo_spec:
+        from ..obs import SloEngine, load_slo_spec
+
+        slo = SloEngine(
+            load_slo_spec([dict(entry) for entry in task.slo_spec])
+        )
+    queue = QueueConfig(
+        capacity=config.queue_capacity,
+        policy=config.policy,
+        rate=config.queue_rate,
+    )
+    service = ShardService(
+        broker,
+        maintainer,
+        ServiceConfig(
+            service_rate=config.service_rate,
+            churn_queue=queue,
+            pub_queue=queue,
+            fault_queue=QueueConfig(capacity=config.queue_capacity),
+        ),
+        slo=slo,
+        shard_id=task.shard,
+        policy=task.fleet_policy,
+    )
+    for (gid, _, _, member), handle in zip(task.registrations, handles):
+        service.register_initial(gid, handle, member=member)
+    service.live_handles = [
+        handle
+        for (_, _, _, member), handle in zip(task.registrations, handles)
+        if member
+    ]
+    if maintainer.forward_handles:
+        # re-base the drift baseline with the match-only columns
+        # scrubbed out of the initial fit (see ShardMaintainer.capture)
+        maintainer.capture()
+    # resume the virtual clock and the exact admission state where the
+    # previous epoch's barrier stopped them
+    service.busy_until = float(task.busy_until)
+    for name, tokens, last_refill in task.token_states:
+        service._queues[name].restore_token_state(tokens, last_refill)
+
+    recorder: Optional[FlightRecorder] = None
+    previous_recorder = None
+    if task.flight:
+        recorder = FlightRecorder(enabled=True)
+        previous_recorder = get_flight_recorder()
+        set_flight_recorder(recorder)
+    start = time.perf_counter()
+    try:
+        outcome = service.run(list(task.events))
+    finally:
+        if task.flight:
+            set_flight_recorder(previous_recorder)
+    seconds = time.perf_counter() - start
+    service.collect_slo(outcome)
+    warm = cold = None
+    if task.finalize and broker.clustering is not None:
+        warm, cold = finalize_equivalence(broker)
+    result = ShardOutcome(
+        shard=task.shard,
+        epoch=task.epoch,
+        k=task.k,
+        service=outcome,
+        current_waste=maintainer.current_waste,
+        fit_waste=maintainer.fit_waste,
+        busy_until=service.busy_until,
+        token_states=tuple(
+            (name, *q.token_state())
+            for name, q in sorted(service._queues.items())
+        ),
+        warm_waste=warm,
+        cold_waste=cold,
+        forwards=service.forwards,
+        forward_joins=service.forward_joins,
+        forward_leaves=service.forward_leaves,
+        n_registrations=len(task.registrations),
+        seconds=seconds,
+        pid=os.getpid(),
+        flight_records=recorder.as_dicts() if recorder is not None else [],
+    )
+    if task.checkpoint_path:
+        from ..persistence import save_shard_checkpoint
+
+        save_shard_checkpoint(
+            task.checkpoint_path,
+            shard=task.shard,
+            k=task.k,
+            maintainer=maintainer,
+            service=service,
+        )
+    return result
+
+
+def _init_fleet_worker(tracing: bool) -> None:
+    reset_worker_state(tracing=tracing, flight=False)
+
+
+def _run_shard_task_isolated(task: ShardTask) -> ShardOutcome:
+    """Pool task: per-task observability delta (sweep-engine idiom)."""
+    registry = get_registry()
+    tracer = get_tracer()
+    registry.reset()
+    tracer.clear()
+    outcome = run_shard_task(task)
+    outcome.metrics = registry.snapshot()
+    outcome.spans = [span.as_dict() for span in tracer.spans()]
+    return outcome
+
+
+def _run_epoch(
+    tasks: Sequence[ShardTask], workers: int
+) -> List[ShardOutcome]:
+    """Run one epoch's shard tasks, inline or across a process pool.
+
+    The pooled path snapshots each worker's metrics/spans and the parent
+    merges them in shard order; results themselves are pure functions of
+    the tasks, so worker count never changes a single byte.
+    """
+    if workers <= 1 or len(tasks) <= 1:
+        return [run_shard_task(task) for task in tasks]
+    method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else multiprocessing.get_start_method()
+    )
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        mp_context=multiprocessing.get_context(method),
+        initializer=_init_fleet_worker,
+        initargs=(get_tracer().enabled,),
+    ) as pool:
+        futures = [
+            pool.submit(_run_shard_task_isolated, task) for task in tasks
+        ]
+        outcomes = [future.result() for future in futures]
+    outcomes.sort(key=lambda outcome: outcome.shard)
+    registry = get_registry()
+    tracer = get_tracer()
+    for outcome in outcomes:
+        if outcome.metrics:
+            registry.merge_records(outcome.metrics)
+        if outcome.spans:
+            tracer.ingest(outcome.spans)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# fleet results
+# ----------------------------------------------------------------------
+@dataclass
+class ShardSummary:
+    """One shard's epochs folded together (virtual numbers only)."""
+
+    shard: int
+    k: int  # final-epoch budget
+    service: ServiceResult
+    current_waste: float = 0.0
+    warm_waste: Optional[float] = None
+    cold_waste: Optional[float] = None
+    forwards: int = 0
+    forward_joins: int = 0
+    forward_leaves: int = 0
+    n_registrations: int = 0  # at final epoch start
+    seconds: float = 0.0
+
+
+def _fold_service(parts: Sequence[ServiceResult]) -> ServiceResult:
+    """Fold per-epoch ServiceResults into one (counts sum, latencies
+    concatenate, peaks max, final-state fields take the last epoch)."""
+    folded = ServiceResult()
+    last = parts[-1]
+    streams = sorted(
+        {name for part in parts for name in part.n_processed}
+    )
+    folded.n_events = sum(part.n_events for part in parts)
+    folded.n_processed = {
+        s: sum(part.n_processed.get(s, 0) for part in parts)
+        for s in streams
+    }
+    folded.n_shed = {
+        s: sum(part.n_shed.get(s, 0) for part in parts) for s in streams
+    }
+    folded.latencies = {
+        s: [v for part in parts for v in part.latencies.get(s, [])]
+        for s in streams
+    }
+    folded.queue_depth_peaks = {
+        s: max(part.queue_depth_peaks.get(s, 0) for part in parts)
+        for s in streams
+    }
+    for name in (
+        "n_rebuilds", "n_fits", "joins", "leaves", "unassigned_joins",
+        "total_cost",
+    ):
+        setattr(
+            folded, name, sum(getattr(part, name) for part in parts)
+        )
+    folded.final_inflation = last.final_inflation
+    folded.final_waste = last.final_waste
+    folded.fit_waste = last.fit_waste
+    folded.horizon = max(part.horizon for part in parts)
+    folded.inflation_trajectory = [
+        sample
+        for part in parts
+        for sample in part.inflation_trajectory
+    ]
+    folded.slo_breaches = [b for part in parts for b in part.slo_breaches]
+    folded.slo_summary = last.slo_summary
+    return folded
+
+
+@dataclass
+class FleetResult:
+    """A finished fleet soak."""
+
+    config: FleetConfig
+    scenario_name: str
+    shards: List[ShardSummary]
+    plan: FleetPlan
+    #: the K split used in each epoch
+    splits: List[List[int]]
+    rebalances: int = 0
+    wall_seconds: float = 0.0
+    flight_records: List[Dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_waste(self) -> float:
+        return sum(s.current_waste for s in self.shards)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(s.service.total_cost for s in self.shards)
+
+    @property
+    def total_forwards(self) -> int:
+        return sum(s.forwards for s in self.shards)
+
+    @property
+    def horizon(self) -> float:
+        return max(s.service.horizon for s in self.shards)
+
+    def _degenerate_soak(self) -> SoakResult:
+        """The single-shard fleet *is* the single-broker soak."""
+        shard = self.shards[0]
+        return SoakResult(
+            config=self.config.soak_config(),
+            scenario_name=self.scenario_name,
+            service=shard.service,
+            warm_waste=shard.warm_waste,
+            cold_waste=shard.cold_waste,
+            wall_seconds=self.wall_seconds,
+            flight_records=self.flight_records,
+        )
+
+    @property
+    def waste_ratio(self) -> Optional[float]:
+        """Warm-over-cold refit ratio of the degenerate (1-shard) case."""
+        if self.config.shards == 1 and self.config.epochs == 1:
+            return self._degenerate_soak().waste_ratio
+        return None
+
+    def deterministic_report(self) -> str:
+        """Virtual-clock summary, byte-identical across runs/workers.
+
+        One shard, one epoch prints the *single-broker soak report
+        verbatim* — the fleet CLI is a drop-in for ``serve`` there.
+        """
+        if self.config.shards == 1 and self.config.epochs == 1:
+            return self._degenerate_soak().deterministic_report()
+        config = self.config
+        lines = [
+            "fleet             "
+            f"shards={config.shards} sharding={config.sharding} "
+            f"policy={config.fleet_policy} epochs={config.epochs} "
+            f"K={config.n_groups}",
+            f"scenario          {self.scenario_name}",
+            f"seed              {config.seed}",
+            f"events            {config.n_events}",
+            f"cross-shard subs  {self.plan.n_cross_shard}",
+        ]
+        for epoch, split in enumerate(self.splits):
+            lines.append(
+                f"split e{epoch}          "
+                + "/".join(str(k) for k in split)
+            )
+        for s in self.shards:
+            svc = s.service
+            lines.append(
+                f"shard {s.shard:<2}          "
+                f"k={s.k} events={svc.n_events} "
+                f"pubs={svc.n_processed.get('pub', 0)} "
+                f"joins={svc.joins} leaves={svc.leaves} "
+                f"fits={svc.n_fits} rebuilds={svc.n_rebuilds} "
+                f"forwards={s.forwards} "
+                f"waste={s.current_waste:.9f} "
+                f"cost={svc.total_cost:.6f}"
+            )
+        lines.extend(
+            [
+                f"fleet waste       {self.total_waste:.9f}",
+                f"fleet cost        {self.total_cost:.6f}",
+                f"fleet forwards    {self.total_forwards}",
+                f"fleet rebalances  {self.rebalances}",
+                f"horizon           {self.horizon:.9f}",
+            ]
+        )
+        warm = [s.warm_waste for s in self.shards]
+        cold = [s.cold_waste for s in self.shards]
+        if all(w is not None for w in warm) and any(
+            c is not None for c in cold
+        ):
+            total_warm = sum(w for w in warm if w is not None)
+            total_cold = sum(c for c in cold if c is not None)
+            lines.append(f"warm waste        {total_warm:.9f}")
+            lines.append(f"cold waste        {total_cold:.9f}")
+        slo_breaches = sum(
+            len(s.service.slo_breaches) for s in self.shards
+        )
+        if any(s.service.slo_summary for s in self.shards):
+            lines.append(f"slo breaches      {slo_breaches}")
+        return "\n".join(lines) + "\n"
+
+    def bench_record(self) -> Dict:
+        """The ``BENCH_fleet.json`` payload."""
+        config = self.config
+        pubs = sum(
+            s.service.n_processed.get("pub", 0) for s in self.shards
+        )
+        record = {
+            "benchmark": "fleet_soak",
+            "scenario": self.scenario_name,
+            "seed": config.seed,
+            "shards": config.shards,
+            "sharding": config.sharding,
+            "policy": config.fleet_policy,
+            "epochs": config.epochs,
+            "workers": config.workers,
+            "k_global": config.n_groups,
+            "splits": [list(split) for split in self.splits],
+            "rebalances": self.rebalances,
+            "n_events": config.n_events,
+            "pubs_processed": pubs,
+            "cross_shard_subscriptions": self.plan.n_cross_shard,
+            "fleet_waste": self.total_waste,
+            "fleet_cost": self.total_cost,
+            "fleet_forwards": self.total_forwards,
+            "virtual_horizon": self.horizon,
+            "wall_seconds": self.wall_seconds,
+            "events_per_wall_second": (
+                config.n_events / self.wall_seconds
+                if self.wall_seconds
+                else 0.0
+            ),
+            "per_shard": [
+                {
+                    "shard": s.shard,
+                    "k": s.k,
+                    "events": s.service.n_events,
+                    "registrations": s.n_registrations,
+                    "waste": s.current_waste,
+                    "cost": s.service.total_cost,
+                    "forwards": s.forwards,
+                    "seconds": s.seconds,
+                }
+                for s in self.shards
+            ],
+            "stamp": bench_stamp(),
+        }
+        return record
+
+    def write_bench(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.bench_record(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+def run_fleet(
+    config: FleetConfig,
+    finalize: bool = True,
+    flight: bool = False,
+    slo_spec: Optional[Sequence[Dict]] = None,
+) -> FleetResult:
+    """Route, split and replay one fleet soak end to end.
+
+    ``slo_spec`` is a list of objective dicts (the ``--slo`` JSON);
+    every shard runs a private engine over its own virtual signals.
+    """
+    start = time.perf_counter()
+    scenario = build_preliminary_scenario(
+        n_nodes=config.n_nodes,
+        n_subscriptions=config.n_subscriptions,
+        seed=config.seed,
+    )
+    shard_map = ShardMap(scenario.space, config.shards, config.sharding)
+    plan = route_fleet_stream(config, scenario, shard_map)
+    coordinator = FleetCoordinator(
+        config.shards,
+        config.n_groups,
+        rebalance_threshold=config.rebalance_threshold,
+    )
+    scenario_kwargs = (
+        ("n_nodes", config.n_nodes),
+        ("n_subscriptions", config.n_subscriptions),
+        ("seed", config.seed),
+    )
+    spec_tuple: Tuple = ()
+    if slo_spec:
+        spec_tuple = tuple(
+            tuple(sorted(entry.items())) for entry in slo_spec
+        )
+
+    splits: List[List[int]] = []
+    per_shard_epochs: List[List[ShardOutcome]] = [
+        [] for _ in range(config.shards)
+    ]
+    carried: List[Tuple[float, Tuple]] = [
+        (0.0, ()) for _ in range(config.shards)
+    ]
+    for epoch in range(config.epochs):
+        final_epoch = epoch == config.epochs - 1
+        splits.append(list(coordinator.split))
+        tasks = []
+        for shard in range(config.shards):
+            registrations = tuple(
+                (
+                    reg.gid,
+                    reg.node,
+                    reg.rectangle,
+                    config.fleet_policy == "replicate"
+                    or shard == reg.home,
+                )
+                for reg in plan.live_at_epoch[epoch]
+                if shard in reg.shards
+            )
+            busy_until, token_states = carried[shard]
+            checkpoint_path = None
+            if config.checkpoint_dir and final_epoch:
+                checkpoint_path = os.path.join(
+                    config.checkpoint_dir, f"shard-{shard}.npz"
+                )
+            tasks.append(
+                ShardTask(
+                    shard=shard,
+                    epoch=epoch,
+                    k=coordinator.split[shard],
+                    fleet_policy=config.fleet_policy,
+                    scenario_kwargs=scenario_kwargs,
+                    config=replace(config, checkpoint_dir=None),
+                    registrations=registrations,
+                    events=tuple(plan.events[epoch][shard]),
+                    owned_mask=(
+                        shard_map.cell_to_shard == shard
+                        if config.shards > 1
+                        else None
+                    ),
+                    busy_until=busy_until,
+                    token_states=token_states,
+                    finalize=finalize and final_epoch,
+                    flight=flight,
+                    slo_spec=spec_tuple,
+                    checkpoint_path=checkpoint_path,
+                )
+            )
+        outcomes = _run_epoch(tasks, config.workers)
+        for outcome in outcomes:
+            per_shard_epochs[outcome.shard].append(outcome)
+            carried[outcome.shard] = (
+                outcome.busy_until, outcome.token_states,
+            )
+        if not final_epoch:
+            now = max(outcome.busy_until for outcome in outcomes)
+            coordinator.note_epoch(
+                now, [outcome.current_waste for outcome in outcomes]
+            )
+
+    summaries = []
+    flight_records: List[Dict] = []
+    for shard in range(config.shards):
+        epochs = per_shard_epochs[shard]
+        last = epochs[-1]
+        summaries.append(
+            ShardSummary(
+                shard=shard,
+                k=last.k,
+                service=_fold_service([o.service for o in epochs]),
+                current_waste=last.current_waste,
+                warm_waste=last.warm_waste,
+                cold_waste=last.cold_waste,
+                forwards=sum(o.forwards for o in epochs),
+                forward_joins=sum(o.forward_joins for o in epochs),
+                forward_leaves=sum(o.forward_leaves for o in epochs),
+                n_registrations=last.n_registrations,
+                seconds=sum(o.seconds for o in epochs),
+            )
+        )
+    # flight records merged in (epoch, shard) order: deterministic for
+    # any worker count, like every other number in the report
+    for epoch in range(config.epochs):
+        for shard in range(config.shards):
+            flight_records.extend(
+                per_shard_epochs[shard][epoch].flight_records
+            )
+    result = FleetResult(
+        config=config,
+        scenario_name=plan.scenario_name,
+        shards=summaries,
+        plan=plan,
+        splits=splits,
+        rebalances=coordinator.rebalances,
+        wall_seconds=time.perf_counter() - start,
+        flight_records=flight_records,
+    )
+    if config.checkpoint_dir:
+        from ..persistence import save_fleet_state
+
+        save_fleet_state(
+            os.path.join(config.checkpoint_dir, "fleet.npz"),
+            shard_map=shard_map,
+            split=coordinator.split,
+            rebalances=coordinator.rebalances,
+            epochs=config.epochs,
+        )
+    return result

@@ -11,9 +11,18 @@ reproducible:
 * **capacity** — a full queue applies its backpressure policy:
   ``block`` stalls the producer until the consumer frees a slot,
   ``shed-oldest`` evicts the head (favouring fresh events),
-  ``shed-lowest-priority`` evicts the lowest-priority entry (oldest
-  among ties) and refuses the arrival itself when nothing queued is
-  lower.
+  ``shed-lowest-priority`` evicts the lowest-priority entry — FIFO
+  among equal priorities, *including* the arrival itself: an arrival
+  that only ties the queued minimum still gets in, evicting the oldest
+  equal-priority entry (the ``priority_tie`` shed reason); the arrival
+  is refused only when everything queued strictly outranks it.
+
+The token bucket accumulates in exact rational arithmetic
+(:class:`fractions.Fraction` over the binary-exact float inputs), so
+the admission decision depends only on the *total* elapsed virtual
+time, never on how many intermediate refills observed it — long soaks
+with fractional rates admit the same events regardless of clock
+resolution.
 
 Depth gauges and shed counters go to :mod:`repro.obs` labelled by queue
 name, so a soak run's registry dump shows where pressure built up.
@@ -23,6 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Any, List, Optional, Tuple
 
 from ..obs import get_registry
@@ -75,9 +85,15 @@ class BoundedQueue:
         self._items: List[Tuple[float, int, int, Any]] = []
         self._seq = 0
         cfg = self.config
-        self._tokens = float(cfg.burst or cfg.capacity)
-        self._bucket = float(cfg.burst or cfg.capacity)
-        self._last_refill = 0.0
+        # exact rational token accounting: floats are binary rationals,
+        # so Fraction arithmetic over them is lossless and telescoping —
+        # refilling in one step or a thousand sub-steps yields the same
+        # token count (the old float accumulator drifted with step
+        # granularity and admitted off-by-one events on long soaks)
+        self._bucket = Fraction(cfg.burst or cfg.capacity)
+        self._tokens = self._bucket
+        self._rate = None if cfg.rate is None else Fraction(cfg.rate)
+        self._last_refill = Fraction(0)
         registry = get_registry()
         self._depth_gauge = registry.gauge(
             "online_queue_depth", "entries awaiting service per queue"
@@ -111,28 +127,55 @@ class BoundedQueue:
         return self._depth_peak
 
     def _refill(self, now: float) -> None:
-        if self.config.rate is None:
+        if self._rate is None:
             return
-        if now > self._last_refill:
+        exact_now = Fraction(now)
+        if exact_now > self._last_refill:
             self._tokens = min(
                 self._bucket,
-                self._tokens + (now - self._last_refill) * self.config.rate,
+                self._tokens + (exact_now - self._last_refill) * self._rate,
             )
-            self._last_refill = now
+            self._last_refill = exact_now
 
     def _take_token(self, now: float) -> Optional[float]:
-        """Consume one token; returns the delay until one exists.
+        """Consume one token; returns the retry time when none exists.
 
-        ``None`` means a token was consumed immediately; a positive
-        float is the virtual wait the ``block`` policy would impose.
+        ``None`` means a token was consumed immediately; a float is the
+        earliest virtual time a retry is guaranteed to find a token
+        (the ``block`` policy re-offers there).
         """
-        if self.config.rate is None:
+        if self._rate is None:
             return None
         self._refill(now)
-        if self._tokens >= 1.0 - 1e-9:
-            self._tokens = max(0.0, self._tokens - 1.0)
+        if self._tokens >= 1:
+            self._tokens -= 1
             return None
-        return (1.0 - self._tokens) / self.config.rate
+        # exact token time, rounded UP to a representable float so the
+        # re-offer never lands a hair before the token exists
+        target = Fraction(now) + (1 - self._tokens) / self._rate
+        retry = float(target)
+        if Fraction(retry) < target:
+            retry = math.nextafter(retry, math.inf)
+        return retry
+
+    # ------------------------------------------------------------------
+    # checkpointing (the fleet's per-shard epochs carry bucket state)
+    # ------------------------------------------------------------------
+    def token_state(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Exact ``(tokens, last_refill)`` as numerator/denominator pairs."""
+        return (
+            (self._tokens.numerator, self._tokens.denominator),
+            (self._last_refill.numerator, self._last_refill.denominator),
+        )
+
+    def restore_token_state(
+        self,
+        tokens: Tuple[int, int],
+        last_refill: Tuple[int, int],
+    ) -> None:
+        """Resume the bucket exactly where :meth:`token_state` left it."""
+        self._tokens = min(self._bucket, Fraction(*map(int, tokens)))
+        self._last_refill = Fraction(*map(int, last_refill))
 
     # ------------------------------------------------------------------
     def offer(
@@ -146,10 +189,10 @@ class BoundedQueue:
         service, which knows when the consumer frees a slot) returns
         ``(False, retry_time)`` with ``retry_time > now``.
         """
-        wait = self._take_token(now)
-        if wait is not None:
+        retry = self._take_token(now)
+        if retry is not None:
             if self.config.policy == "block":
-                return False, now + wait
+                return False, retry
             self._shed.inc(queue=self.name, reason="rate")
             self.last_shed_reason = "rate"
             return False, now
@@ -157,8 +200,8 @@ class BoundedQueue:
             if not self._evict(item, priority, now):
                 if self.config.policy == "block":
                     # give the token back: the arrival will be re-offered
-                    if self.config.rate is not None:
-                        self._tokens = min(self._bucket, self._tokens + 1.0)
+                    if self._rate is not None:
+                        self._tokens = min(self._bucket, self._tokens + 1)
                     return False, now
                 reason = (
                     "priority"
@@ -178,7 +221,7 @@ class BoundedQueue:
 
     def _evict(self, item: Any, priority: int, now: float) -> bool:
         """Make room under a shed policy; False means the queue stays
-        full (block, or the arrival itself is the lowest priority)."""
+        full (block, or the arrival is strictly the lowest priority)."""
         if self.config.policy == "shed-oldest":
             victim = min(
                 range(len(self._items)),
@@ -191,6 +234,9 @@ class BoundedQueue:
                 self._evictions.append((now, entry[3], "capacity"))
             return True
         if self.config.policy == "shed-lowest-priority":
+            # scan on (priority, admit_time, seq): seq is assigned at
+            # admission, so among equal (priority, time) entries the
+            # victim is exactly the first inserted — FIFO by construction
             victim = min(
                 range(len(self._items)),
                 key=lambda i: (
@@ -199,14 +245,18 @@ class BoundedQueue:
                     self._items[i][2],
                 ),
             )
-            if self._items[victim][1] >= priority:
-                # nothing queued outranks the arrival downward: shed it
+            if self._items[victim][1] > priority:
+                # everything queued strictly outranks the arrival: shed it
                 return False
+            # FIFO among equal lowest priorities includes the arrival:
+            # it is the newest, so the oldest queued tie is the victim
+            tie = self._items[victim][1] == priority
+            reason = "priority_tie" if tie else "priority"
             entry = self._items.pop(victim)
             self.evicted += 1
-            self._shed.inc(queue=self.name, reason="priority")
+            self._shed.inc(queue=self.name, reason=reason)
             if self.record_evictions:
-                self._evictions.append((now, entry[3], "priority"))
+                self._evictions.append((now, entry[3], reason))
             return True
         return False
 

@@ -4,37 +4,49 @@ sets, clusterings, No-Loss region lists and online-runtime
 checkpoints."""
 
 from .io import (
+    FleetState,
     OnlineState,
+    ShardState,
     load_aggregates,
     load_cell_set,
     load_clustering,
+    load_fleet_state,
     load_noloss_result,
     load_online_state,
+    load_shard_checkpoint,
     load_subscriptions,
     load_topology,
     save_aggregates,
     save_cell_set,
     save_clustering,
+    save_fleet_state,
     save_noloss_result,
     save_online_state,
+    save_shard_checkpoint,
     save_subscriptions,
     save_topology,
 )
 
 __all__ = [
+    "FleetState",
     "OnlineState",
+    "ShardState",
     "load_aggregates",
     "load_cell_set",
     "load_clustering",
+    "load_fleet_state",
     "load_noloss_result",
     "load_online_state",
+    "load_shard_checkpoint",
     "load_subscriptions",
     "load_topology",
     "save_aggregates",
     "save_cell_set",
     "save_clustering",
+    "save_fleet_state",
     "save_noloss_result",
     "save_online_state",
+    "save_shard_checkpoint",
     "save_subscriptions",
     "save_topology",
 ]

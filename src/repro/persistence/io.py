@@ -41,6 +41,12 @@ __all__ = [
     "OnlineState",
     "save_online_state",
     "load_online_state",
+    "ShardState",
+    "save_shard_checkpoint",
+    "load_shard_checkpoint",
+    "FleetState",
+    "save_fleet_state",
+    "load_fleet_state",
 ]
 
 _FORMAT_VERSION = 1
@@ -491,6 +497,204 @@ def load_online_state(path) -> OnlineState:
         current_waste=float(meta["current_waste"]),
         counters={k: int(v) for k, v in meta["counters"].items()},
         queues=queues,
+    )
+
+
+# ----------------------------------------------------------------------
+# fleet checkpoints
+# ----------------------------------------------------------------------
+class ShardState:
+    """A restored fleet-shard checkpoint.
+
+    Extends the single-broker :class:`OnlineState` surface with the
+    shard's fleet identity: its budget slice ``k``, its cross-shard
+    policy, the fleet-wide gid → local-handle registry, the match-only
+    (forward) gid set, the exact token-bucket states and the virtual
+    clock — everything a restarted shard needs to resume mid-fleet.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        k: int,
+        policy: str,
+        online: OnlineState,
+        busy_until: float,
+        token_states: Tuple[
+            Tuple[str, Tuple[int, int], Tuple[int, int]], ...
+        ],
+        handle_of_gid: Dict[int, int],
+        forward_gids: frozenset,
+    ) -> None:
+        self.shard = shard
+        self.k = k
+        self.policy = policy
+        self.online = online
+        self.busy_until = busy_until
+        self.token_states = token_states
+        self.handle_of_gid = handle_of_gid
+        self.forward_gids = forward_gids
+
+    def apply(self, service) -> None:
+        """Resume a :class:`~repro.fleet.runtime.ShardService`."""
+        self.online.apply(service.maintainer)
+        service.busy_until = float(self.busy_until)
+        service.handle_of_gid = dict(self.handle_of_gid)
+        service.forward_gids = set(self.forward_gids)
+        for handle in (
+            self.handle_of_gid[gid] for gid in sorted(self.forward_gids)
+        ):
+            service._track_forward(handle)
+        for name, tokens, last_refill in self.token_states:
+            if name in service._queues:
+                service._queues[name].restore_token_state(
+                    tokens, last_refill
+                )
+
+
+def save_shard_checkpoint(path, shard, k, maintainer, service) -> None:
+    """Persist one fleet shard's end state (single ``.npz``).
+
+    Token-bucket numerators/denominators are exact integers (JSON keeps
+    arbitrary precision), so a restore resumes admission byte-exactly.
+    """
+    arrays = maintainer.state_arrays()
+    gids = np.asarray(sorted(service.handle_of_gid), dtype=np.int64)
+    handles = np.asarray(
+        [service.handle_of_gid[int(g)] for g in gids], dtype=np.int64
+    )
+    token_meta = [
+        {
+            "queue": name,
+            "tokens": list(queue.token_state()[0]),
+            "last_refill": list(queue.token_state()[1]),
+        }
+        for name, queue in sorted(service._queues.items())
+    ]
+    _save(
+        path,
+        {
+            "kind": "fleet-shard",
+            "shard": int(shard),
+            "k": int(k),
+            "policy": service.policy,
+            "fit_waste": maintainer.fit_waste,
+            "current_waste": maintainer.current_waste,
+            "counters": {
+                "joins": maintainer.joins,
+                "leaves": maintainer.leaves,
+                "unassigned_joins": maintainer.unassigned_joins,
+                "captures": maintainer.captures,
+            },
+            "forward": {
+                "joins": service.forward_joins,
+                "leaves": service.forward_leaves,
+                "deliveries": service.forwards,
+            },
+            "busy_until": service.busy_until,
+            "tokens": token_meta,
+        },
+        cell_group=np.asarray(arrays["cell_group"], dtype=np.int64),
+        group_mass=np.asarray(arrays["group_mass"], dtype=np.float64),
+        gids=gids,
+        handles=handles,
+        forward_gids=np.asarray(
+            sorted(service.forward_gids), dtype=np.int64
+        ),
+    )
+
+
+def load_shard_checkpoint(path) -> ShardState:
+    meta, arrays = _load(path)
+    _check_kind(meta, "fleet-shard")
+    online = OnlineState(
+        cell_group=arrays["cell_group"],
+        group_mass=arrays["group_mass"],
+        fit_waste=float(meta["fit_waste"]),
+        current_waste=float(meta["current_waste"]),
+        counters={k: int(v) for k, v in meta["counters"].items()},
+        queues={},
+    )
+    token_states = tuple(
+        (
+            str(entry["queue"]),
+            tuple(int(v) for v in entry["tokens"]),
+            tuple(int(v) for v in entry["last_refill"]),
+        )
+        for entry in meta.get("tokens", [])
+    )
+    return ShardState(
+        shard=int(meta["shard"]),
+        k=int(meta["k"]),
+        policy=str(meta["policy"]),
+        online=online,
+        busy_until=float(meta["busy_until"]),
+        token_states=token_states,
+        handle_of_gid={
+            int(g): int(h)
+            for g, h in zip(arrays["gids"], arrays["handles"])
+        },
+        forward_gids=frozenset(
+            int(g) for g in arrays["forward_gids"]
+        ),
+    )
+
+
+class FleetState:
+    """A restored fleet manifest: the shard map parameters, the final K
+    split and the coordinator's rebalance count."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        strategy: str,
+        vnodes: int,
+        split: List[int],
+        rebalances: int,
+        epochs: int,
+        cell_to_shard: np.ndarray,
+    ) -> None:
+        self.n_shards = n_shards
+        self.strategy = strategy
+        self.vnodes = vnodes
+        self.split = split
+        self.rebalances = rebalances
+        self.epochs = epochs
+        self.cell_to_shard = cell_to_shard
+
+
+def save_fleet_state(path, shard_map, split, rebalances, epochs) -> None:
+    """Persist the fleet-level manifest next to the shard checkpoints.
+
+    The cell-ownership vector is derivable from the map parameters, but
+    storing it makes the file self-verifying: a loader can rebuild the
+    map and compare bit-for-bit.
+    """
+    _save(
+        path,
+        {
+            "kind": "fleet",
+            "map": shard_map.as_dict(),
+            "split": [int(k) for k in split],
+            "rebalances": int(rebalances),
+            "epochs": int(epochs),
+        },
+        cell_to_shard=np.asarray(shard_map.cell_to_shard, dtype=np.int64),
+    )
+
+
+def load_fleet_state(path) -> FleetState:
+    meta, arrays = _load(path)
+    _check_kind(meta, "fleet")
+    map_meta = meta["map"]
+    return FleetState(
+        n_shards=int(map_meta["n_shards"]),
+        strategy=str(map_meta["strategy"]),
+        vnodes=int(map_meta["vnodes"]),
+        split=[int(k) for k in meta["split"]],
+        rebalances=int(meta["rebalances"]),
+        epochs=int(meta["epochs"]),
+        cell_to_shard=arrays["cell_to_shard"],
     )
 
 

@@ -266,6 +266,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "fleet",
+        help="replay one churn+publication stream across a sharded "
+        "multi-broker fleet with a coordinator-split group budget",
+        parents=[obs, pool, slo_flags, agg_flags],
+    )
+    p.add_argument(
+        "--flight",
+        action="store_true",
+        help="record per-event causal stage chains and print the "
+        "per-stage latency waterfall",
+    )
+    p.add_argument("--events", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--nodes", type=int, default=100)
+    p.add_argument("--subs", type=int, default=300)
+    p.add_argument("--groups", type=int, default=30,
+                   help="the GLOBAL multicast-group budget K, split "
+                   "across shards by the coordinator")
+    p.add_argument("--max-cells", type=int, default=600)
+    p.add_argument("--rate", type=float, default=800.0,
+                   help="mean arrival rate, events per virtual second")
+    p.add_argument("--service-rate", type=float, default=1000.0,
+                   help="per-shard consumer capacity, events per "
+                   "virtual second")
+    p.add_argument("--churn", type=float, default=0.1, metavar="FRAC",
+                   help="fraction of events that are joins/leaves")
+    p.add_argument("--queue-capacity", type=int, default=256)
+    p.add_argument(
+        "--policy", default="block",
+        choices=("block", "shed-oldest", "shed-lowest-priority"),
+        help="backpressure policy of the churn and publication queues",
+    )
+    p.add_argument("--queue-rate", type=float, default=None,
+                   help="per-queue token-bucket rate limit (events per "
+                   "virtual second; default unlimited)")
+    p.add_argument("--drift-threshold", type=float, default=1.25,
+                   help="waste-inflation ratio that triggers a warm refit")
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of broker shards (1 = the single-broker "
+                   "soak, byte-identical to `serve`)")
+    p.add_argument(
+        "--sharding", default="hash", choices=("hash", "region"),
+        help="cell-ownership strategy: consistent hashing or "
+        "contiguous region slabs",
+    )
+    p.add_argument(
+        "--fleet-policy", default="replicate",
+        choices=("replicate", "forward"),
+        help="cross-shard subscriptions: full members everywhere "
+        "(replicate) or grouped at home only with unicast forwards "
+        "elsewhere (forward)",
+    )
+    p.add_argument("--epochs", type=int, default=1,
+                   help="coordination barriers: the stream splits into "
+                   "this many slices with K rebalanced between them")
+    p.add_argument(
+        "--rebalance-threshold", type=float, default=1.25,
+        help="waste-vs-budget misalignment ratio past which the "
+        "coordinator resplits K at an epoch barrier",
+    )
+    p.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write per-shard end-state checkpoints and the fleet "
+        "manifest under DIR",
+    )
+    p.add_argument(
+        "--bench", metavar="PATH", nargs="?", const="BENCH_fleet.json",
+        help="write a JSON bench record (default BENCH_fleet.json)",
+    )
+
+    p = sub.add_parser(
         "chaos",
         help="replay a fault schedule and report delivery degradation",
         parents=[obs, pool, slo_flags],
@@ -465,6 +536,8 @@ def _run_command(args: argparse.Namespace) -> None:
         _run_sweep(args)
     elif args.command == "serve":
         _run_serve(args)
+    elif args.command == "fleet":
+        _run_fleet(args)
     elif args.command == "chaos":
         _run_chaos(args)
 
@@ -518,6 +591,94 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"incremental maintenance drifted {result.waste_ratio:.3f}x "
             "past the batch refit (gate: 1.1x)"
         )
+    if args.bench:
+        result.write_bench(args.bench)
+        print(f"(bench record written to {args.bench})")
+
+
+def _load_slo_dicts(spec) -> List[dict]:
+    """Parse ``--slo`` (path or inline JSON) into raw objective dicts.
+
+    The fleet ships the spec to every shard by value (each shard runs a
+    private engine over its own virtual signals), so the CLI keeps the
+    parsed dictionaries instead of constructing one engine up front.
+    """
+    import json
+
+    text = str(spec)
+    if text.lstrip().startswith(("{", "[")):
+        data = json.loads(text)
+    else:
+        with open(text, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("objectives", [])
+    if not isinstance(data, list):
+        raise ValueError("SLO spec must be a list of objectives")
+    return data
+
+
+def _run_fleet(args: argparse.Namespace) -> None:
+    import os
+
+    from ..fleet import FleetConfig, run_fleet
+    from .report import slo_table, stage_waterfall
+
+    slo_dicts = _load_slo_dicts(args.slo) if args.slo else None
+    if slo_dicts is not None:
+        # validate eagerly so a bad spec fails before the run
+        _load_slo_engine(slo_dicts)
+    if args.checkpoint_dir:
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
+    config = FleetConfig(
+        n_events=args.events,
+        seed=args.seed,
+        rate=args.rate,
+        service_rate=args.service_rate,
+        churn_fraction=args.churn,
+        n_nodes=args.nodes,
+        n_subscriptions=args.subs,
+        n_groups=args.groups,
+        max_cells=args.max_cells,
+        drift_threshold=args.drift_threshold,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        queue_rate=args.queue_rate,
+        aggregate=args.aggregate,
+        shards=args.shards,
+        sharding=args.sharding,
+        fleet_policy=args.fleet_policy,
+        epochs=args.epochs,
+        workers=default_workers(args.workers),
+        rebalance_threshold=args.rebalance_threshold,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    result = run_fleet(config, flight=args.flight, slo_spec=slo_dicts)
+    # virtual-clock numbers only, byte-identical across runs and worker
+    # counts; with one shard and one epoch this is `serve`'s report
+    print(result.deterministic_report(), end="")
+    if slo_dicts is not None:
+        for summary in result.shards:
+            svc = summary.service
+            if not svc.slo_summary:
+                continue
+            print()
+            print(slo_table(
+                svc.slo_summary, svc.slo_breaches,
+                title=f"SLO objectives (shard {summary.shard})",
+            ))
+    if args.flight:
+        print()
+        print(stage_waterfall(result.flight_records))
+        print(f"({len(result.flight_records)} flight records)")
+    ratio = result.waste_ratio
+    if ratio is not None and ratio > 1.1:
+        raise SystemExit(
+            f"incremental maintenance drifted {ratio:.3f}x "
+            "past the batch refit (gate: 1.1x)"
+        )
+    if args.checkpoint_dir:
+        print(f"(checkpoints written under {args.checkpoint_dir})")
     if args.bench:
         result.write_bench(args.bench)
         print(f"(bench record written to {args.bench})")

@@ -335,6 +335,41 @@ class TestInvalidationVsEviction:
         assert info["nodes_evictions"] == 1
         assert info["nodes_invalidations"] == 0
 
+    def test_member_invalidation_counted_not_evicted(self, line_setup):
+        # churn mutates a group's member column: the pre-change column's
+        # node-set memo AND the cost entries priced from it must drop as
+        # invalidations (the key went stale), never as evictions
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        plan = self._group_plan([0, 1])
+        dispatcher.plan_cost(0, plan)
+        dispatcher.plan_cost(3, plan)
+        info = dispatcher.cache_info()
+        assert info["nodes_entries"] == 1 and info["entries"] == 2
+        dispatcher.invalidate_members([0, 1])
+        info = dispatcher.cache_info()
+        assert info["nodes_entries"] == 0
+        assert info["entries"] == 0
+        assert info["nodes_invalidations"] == 1
+        assert info["invalidations"] == 2
+        assert info["evictions"] == 0
+        assert info["nodes_evictions"] == 0
+        # repricing after the drop is a miss that recomputes correctly
+        cost = dispatcher.plan_cost(0, plan)
+        assert cost == dense_multicast_cost(
+            routing, 0, subs.nodes_of_subscribers([0, 1])
+        )
+
+    def test_member_invalidation_unknown_column_is_noop(self, line_setup):
+        routing, subs = line_setup
+        dispatcher = Dispatcher(routing, subs, "dense")
+        dispatcher.plan_cost(0, self._group_plan([0, 1]))
+        dispatcher.invalidate_members([1, 2])  # never priced
+        info = dispatcher.cache_info()
+        assert info["nodes_entries"] == 1 and info["entries"] == 1
+        assert info["nodes_invalidations"] == 0
+        assert info["invalidations"] == 0
+
     def test_max_entries_validation(self, line_setup):
         routing, subs = line_setup
         with pytest.raises(ValueError, match="max_entries"):

@@ -31,7 +31,7 @@ _SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
 LABEL_ALLOWLIST = frozenset({
     "algorithm", "cache", "instance", "kind", "matcher", "mode",
     "outcome", "path", "phase", "queue", "reason", "result", "scheme",
-    "stream",
+    "shard", "stream",
 })
 
 

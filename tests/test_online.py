@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.broker import BrokerConfig, ContentBroker, RebuildScheduler
+from repro.delivery import Dispatcher
 from repro.geometry import Rectangle
 from repro.network import RoutingTables
 from repro.online import (
@@ -154,6 +155,36 @@ class TestBoundedQueue:
         assert not admitted
         assert len(queue) == 2
 
+    def test_shed_lowest_priority_tie_evicts_oldest_fifo(self):
+        # among equal lowest-priority entries — including the arrival —
+        # the OLDEST goes: the tying arrival gets in, the head is shed
+        queue = BoundedQueue(
+            "t4b", QueueConfig(capacity=2, policy="shed-lowest-priority")
+        )
+        queue.record_evictions = True
+        queue.offer("a", 0.0, priority=1)
+        queue.offer("b", 1.0, priority=1)
+        admitted, _ = queue.offer("c", 2.0, priority=1)
+        assert admitted
+        assert queue.evicted == 1
+        assert queue.take_evictions() == [(2.0, "a", "priority_tie")]
+        items = {queue.pop()[3], queue.pop()[3]}
+        assert items == {"b", "c"}
+
+    def test_shed_lowest_priority_tie_break_is_insertion_stable(self):
+        # equal (priority, admit time): seq — assigned at admission —
+        # must pick the first-inserted entry
+        queue = BoundedQueue(
+            "t4c", QueueConfig(capacity=3, policy="shed-lowest-priority")
+        )
+        queue.record_evictions = True
+        queue.offer("first", 5.0, priority=0)
+        queue.offer("second", 5.0, priority=0)
+        queue.offer("third", 5.0, priority=0)
+        admitted, _ = queue.offer("fourth", 5.0, priority=0)
+        assert admitted
+        assert queue.take_evictions() == [(5.0, "first", "priority_tie")]
+
     def test_block_capacity_refuses_without_shedding(self):
         queue = BoundedQueue("t5", QueueConfig(capacity=1, policy="block"))
         queue.offer("a", 0.0)
@@ -185,6 +216,80 @@ class TestBoundedQueue:
             queue.offer(i, float(i))
         queue.pop()
         assert queue.depth_peak == 5
+
+    @pytest.mark.parametrize("rate", [1.0 / 3.0, 0.1, 0.7, 3.3])
+    def test_token_refill_invariant_to_clock_resolution(self, rate):
+        # the exact accumulator makes refill a function of *total*
+        # elapsed virtual time: interleaving thousands of fine-grained
+        # refill observations between offers must not change a single
+        # admission decision (the float accumulator drifted here)
+        rng = np.random.default_rng(11)
+        times = np.cumsum(rng.exponential(1.0 / rate, size=400))
+        coarse = BoundedQueue(
+            "inv-c", QueueConfig(capacity=4096, policy="shed-oldest",
+                                 rate=rate, burst=2)
+        )
+        fine = BoundedQueue(
+            "inv-f", QueueConfig(capacity=4096, policy="shed-oldest",
+                                 rate=rate, burst=2)
+        )
+        previous = 0.0
+        decisions_coarse, decisions_fine = [], []
+        for t in times:
+            t = float(t)
+            # fine queue sees the clock at 7 intermediate resolutions
+            for step in np.linspace(previous, t, 9)[1:-1]:
+                fine._refill(float(step))
+            decisions_coarse.append(coarse.offer("e", t)[0])
+            decisions_fine.append(fine.offer("e", t)[0])
+            previous = t
+        assert decisions_coarse == decisions_fine
+        assert coarse._tokens == fine._tokens  # exact, not approximate
+
+    def test_token_accumulator_exact_over_many_steps(self):
+        # 10k sub-steps of an inexact binary rate telescope to exactly
+        # one big refill
+        stepped = BoundedQueue(
+            "ex-s", QueueConfig(capacity=4, rate=0.1, burst=4)
+        )
+        direct = BoundedQueue(
+            "ex-d", QueueConfig(capacity=4, rate=0.1, burst=4)
+        )
+        # drain both buckets first so refills accumulate below the cap
+        for i in range(4):
+            stepped.offer(i, 0.0)
+            direct.offer(i, 0.0)
+        for k in range(1, 10001):
+            stepped._refill(k * 0.001)
+        direct._refill(10000 * 0.001)
+        stepped._refill(10.0)
+        direct._refill(10.0)
+        assert stepped._tokens == direct._tokens
+
+    def test_blocked_retry_time_lands_on_a_token(self):
+        # the retry time returned for a blocked producer must be late
+        # enough that re-offering there always finds the token
+        queue = BoundedQueue(
+            "retry", QueueConfig(capacity=8, policy="block",
+                                 rate=1.0 / 3.0, burst=1)
+        )
+        assert queue.offer("a", 0.0)[0]
+        admitted, retry = queue.offer("b", 0.5)
+        assert not admitted and retry > 0.5
+        assert queue.offer("b", retry)[0]
+
+    def test_token_state_round_trip(self):
+        source = BoundedQueue(
+            "ckpt-a", QueueConfig(capacity=8, rate=0.7, burst=3)
+        )
+        source.offer("a", 0.0)
+        source.offer("b", 1.3)
+        clone = BoundedQueue(
+            "ckpt-b", QueueConfig(capacity=8, rate=0.7, burst=3)
+        )
+        clone.restore_token_state(*source.token_state())
+        assert clone._tokens == source._tokens
+        assert clone._last_refill == source._last_refill
 
 
 # ----------------------------------------------------------------------
@@ -276,6 +381,53 @@ class TestClusterMaintainer:
         assert len(broker.clustering.groups_of_subscriber(internal)) == 0
         assert maintainer.unassigned_joins == 1
         assert maintainer.current_waste == maintainer.fit_waste
+
+    @pytest.mark.parametrize("aggregate", [False, True])
+    def test_churn_invalidates_dispatcher_member_memos(
+        self, online_env, rng, aggregate
+    ):
+        # a join/leave mutates group member columns (and under
+        # aggregation splits/merges aggregates): the dispatcher's
+        # pre-change column memos must drop as *invalidations*, and the
+        # repriced plans must match a freshly built dispatcher
+        broker = make_online_broker(online_env, rng, aggregate=aggregate)
+        space = online_env["space"]
+        # publish at a subscriber rectangle's centre so the plan is
+        # guaranteed to route through at least one multicast group
+        point, plan = None, None
+        for h in broker.handles():
+            _, rect = broker.subscription(h)
+            candidate = [
+                (max(side.lo, dim.lo) + min(side.hi, dim.hi)) / 2
+                for side, dim in zip(rect.sides, space.dimensions)
+            ]
+            candidate_plan = broker._matcher.match(candidate)
+            if len(candidate_plan.group_ids):
+                point, plan = list(candidate), candidate_plan
+                break
+        assert plan is not None, "no point matched a multicast group"
+        broker.publish(point, 0)  # warm the memos
+        plan = broker._matcher.match(point)
+        group = int(plan.group_ids[0])  # its column is in the memo now
+        info_before = broker._dispatcher.cache_info()
+        handle = broker.subscribe(1, _rect(space, rng))
+        broker.attach(handle)
+        broker.apply_join(handle, group)
+        broker.apply_leave(handle)
+        info = broker._dispatcher.cache_info()
+        assert (
+            info["nodes_invalidations"]
+            > info_before["nodes_invalidations"]
+        )
+        assert info["nodes_evictions"] == info_before["nodes_evictions"]
+        # repricing after churn matches a dispatcher built from scratch
+        receipt = broker.publish(point, 0)
+        fresh = Dispatcher(
+            online_env["routing"], broker.live_subscriptions,
+            broker.config.scheme,
+        )
+        plan = broker._matcher.match(point)
+        assert receipt.cost == pytest.approx(fresh.plan_cost(0, plan))
 
     def test_joined_subscriber_is_served_immediately(self, online_env, rng):
         broker = make_online_broker(online_env, rng)
