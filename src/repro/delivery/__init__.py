@@ -3,6 +3,13 @@ models (unicast / broadcast / dense-mode multicast / application-level
 multicast)."""
 
 from .adaptive import AdaptiveDecision, AdaptiveDeliveryPolicy
-from .dispatcher import SCHEMES, Dispatcher
+from .dispatcher import BACKENDS, SCHEMES, Dispatcher, resolve_backend
 
-__all__ = ["SCHEMES", "Dispatcher", "AdaptiveDecision", "AdaptiveDeliveryPolicy"]
+__all__ = [
+    "BACKENDS",
+    "SCHEMES",
+    "Dispatcher",
+    "resolve_backend",
+    "AdaptiveDecision",
+    "AdaptiveDeliveryPolicy",
+]

@@ -38,6 +38,7 @@ from ..network import (
     broadcast_cost,
     dense_multicast_cost,
     ideal_multicast_cost,
+    overlay_multicast_cost,
     select_core,
     sparse_multicast_cost,
     unicast_cost,
@@ -45,9 +46,35 @@ from ..network import (
 from ..obs import MetricsRegistry, get_registry, get_tracer
 from ..workload import SubscriptionSet
 
-__all__ = ["Dispatcher", "SCHEMES"]
+__all__ = ["Dispatcher", "SCHEMES", "BACKENDS", "resolve_backend"]
 
-SCHEMES = ("dense", "alm", "sparse")
+SCHEMES = ("dense", "alm", "sparse", "overlay")
+
+#: user-facing multicast backend names -> dispatcher scheme.  The CLI
+#: speaks backend names ("application" reads better than "alm" on a
+#: flag); the dispatcher speaks schemes.
+BACKENDS = {
+    "dense": "dense",
+    "sparse": "sparse",
+    "application": "alm",
+    "alm": "alm",
+    "overlay": "overlay",
+}
+
+
+def resolve_backend(name: str) -> str:
+    """Map a ``--multicast-backend`` name to its dispatcher scheme.
+
+    Raises a :class:`ValueError` that lists the valid backends, so CLI
+    surfaces report a typo instead of dying on a bare ``KeyError``.
+    """
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        valid = ", ".join(sorted(BACKENDS))
+        raise ValueError(
+            f"unknown multicast backend {name!r}; valid backends: {valid}"
+        ) from None
 
 #: distinguishes concurrently live dispatchers in the shared registry
 _instance_ids = itertools.count()
@@ -93,6 +120,7 @@ class Dispatcher:
         self._core = core
         self._core_given = core is not None
         self._max_entries = max_entries
+        self._overlay_delivery = None
         # multicast-cost memo: a clustering's group node-sets are frozen,
         # so the cost of reaching a group from a given publisher only
         # changes when the topology does — price it once and replay it,
@@ -376,7 +404,29 @@ class Dispatcher:
             return dense_multicast_cost(self.routing, publisher, nodes)
         if self.scheme == "alm":
             return application_multicast_cost(self.routing, publisher, nodes)
+        if self.scheme == "overlay":
+            return overlay_multicast_cost(
+                self.routing, publisher, nodes, self._overlay()
+            )
         return sparse_multicast_cost(self.routing, publisher, nodes, self.core)
+
+    def _overlay(self):
+        """The shared per-routing rendezvous delivery layer (lazy).
+
+        Resolved through :func:`repro.dht.overlay_for` so every
+        dispatcher and broker rebuild over the same routing tables
+        reuses one set of rendezvous trees, which *heal* (reattach)
+        across topology changes instead of rebuilding — the dispatcher
+        memo still flushes on change (costs moved), but the tree
+        structure underneath survives.
+        """
+        delivery = self._overlay_delivery
+        if delivery is None:
+            from ..dht import overlay_for
+
+            delivery = overlay_for(self.routing)
+            self._overlay_delivery = delivery
+        return delivery
 
     # ------------------------------------------------------------------
     # reference schemes of Tables 1 and 2

@@ -1,0 +1,21 @@
+"""Structured-overlay delivery: a deterministic Pastry-like DHT ring
+(:class:`PastryOverlay`) and Scribe-like rendezvous multicast trees with
+subscription subgrouping and route healing
+(:class:`RendezvousDelivery`).
+
+The layer is the ``overlay`` backend of
+:func:`repro.network.multicast.overlay_multicast_cost` and the
+:class:`~repro.delivery.Dispatcher`; see ``docs/overlay_multicast.md``.
+"""
+
+from .overlay import OverlayConfig, OverlayUniverse, PastryOverlay
+from .scribe import RendezvousDelivery, RendezvousTree, overlay_for
+
+__all__ = [
+    "OverlayConfig",
+    "OverlayUniverse",
+    "PastryOverlay",
+    "RendezvousDelivery",
+    "RendezvousTree",
+    "overlay_for",
+]

@@ -1,0 +1,351 @@
+"""Scribe-like rendezvous trees over the Pastry overlay.
+
+Each multicast group hashes to a rendezvous key; the key's owner on the
+overlay ring is the group's **root**.  **Root affinity** relocates the
+hashed key's leading digits into the id domain holding the most members,
+so — ids being proximity-assigned — the rendezvous lands underlay-near
+the group instead of on a uniformly random node.
+
+Members join by **proximity anycast**: the join request is forwarded hop
+by hop along the underlay shortest path towards the nearest node already
+in the tree, and every traversed overlay node becomes a forwarder
+(reverse-path grafting).  Because join paths share underlay links with
+earlier branches, the finished tree approaches the Steiner quality of a
+dense-mode shortest-path tree rather than paying each member a full
+end-to-end unicast.  Delivering one message costs the publisher's
+overlay route to the root plus one underlay link per tree edge.
+
+**Subgrouping** (Shafique's subscription subgrouping) splits a group's
+members by the leading digits of their overlay ids.  Each non-empty
+subgroup elects a leader — the member closest to the group key relocated
+into the subgroup's id domain.  Leaders join first, in order of their
+underlay distance from the root, forming the tree's backbone; the
+remaining members then graft onto it in outward proximity waves.
+
+**Route healing**: trees are cached per member set and *repaired*, not
+rebuilt, when the topology moves.  Members whose parent chain survived
+keep their branches; members orphaned by a failed forwarder or a
+changed leader re-join (``overlay_tree_repairs_total{kind="reattach"}``)
+and dead branches are pruned (``kind="prune"``).  Only a failed root
+forces a full rebuild (``kind="rebuild"``).  This is the counterpart the
+chaos comparison weighs against dense mode's shortest-path-tree
+recompute (see :mod:`repro.faults.healing`).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..network.routing import RoutingTables
+from ..obs import get_flight_recorder, get_registry
+from .overlay import OverlayConfig, OverlayUniverse, PastryOverlay
+
+__all__ = ["RendezvousDelivery", "RendezvousTree", "overlay_for"]
+
+#: cached dissemination trees per delivery instance (LRU)
+_MAX_TREES = 1024
+
+
+@dataclass
+class RendezvousTree:
+    """One group's dissemination tree (parent pointers towards the root)."""
+
+    key: int
+    root: int
+    #: child -> parent forwarding hops; every edge is one underlay link
+    parent: Dict[int, int] = field(default_factory=dict)
+    #: member -> the node it joined towards (leader or root), for repair
+    targets: Dict[int, int] = field(default_factory=dict)
+    #: identity of the universe the tree was built/repaired in
+    universe_key: Tuple[int, ...] = ()
+    n_subgroups: int = 0
+
+    def cost(self, routing: RoutingTables) -> float:
+        """Total underlay cost of the tree's edges (deterministic order)."""
+        return sum(
+            routing.distance(child, parent)
+            for child, parent in sorted(self.parent.items())
+        )
+
+    def nodes(self) -> set:
+        """Every node currently on the tree (root, members, forwarders)."""
+        joined = {self.root}
+        joined.update(self.parent)
+        joined.update(self.parent.values())
+        return joined
+
+    def intact(self, member: int, universe: OverlayUniverse) -> bool:
+        """True when the member's parent chain still reaches the root
+        through live nodes."""
+        node = member
+        seen = set()
+        while node != self.root:
+            if node not in universe or node in seen:
+                return False
+            seen.add(node)
+            parent = self.parent.get(node)
+            if parent is None:
+                return False
+            node = parent
+        return node in universe
+
+
+class RendezvousDelivery:
+    """Prices group delivery over rendezvous trees, healing across faults."""
+
+    def __init__(
+        self, routing: RoutingTables, config: Optional[OverlayConfig] = None
+    ) -> None:
+        self.routing = routing
+        self.overlay = PastryOverlay(routing, config)
+        self.config = self.overlay.config
+        self._trees: "OrderedDict[bytes, RendezvousTree]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def group_cost(self, publisher: int, nodes: np.ndarray) -> float:
+        """Delivery cost: publisher's route to the root + the tree."""
+        members = np.unique(np.asarray(nodes, dtype=np.int64))
+        if members.size == 0:
+            return 0.0
+        universe = self.overlay.universe_for(publisher)
+        for member in members:
+            if int(member) not in universe:
+                raise ValueError(
+                    f"node {int(member)} unreachable from publisher "
+                    f"{publisher}"
+                )
+        tree = self.tree(universe, members)
+        return universe.route_cost(publisher, tree.key) + tree.cost(
+            self.routing
+        )
+
+    def tree(
+        self, universe: OverlayUniverse, members: np.ndarray
+    ) -> RendezvousTree:
+        """The group's dissemination tree, built or repaired on demand."""
+        cache_key = members.tobytes()
+        tree = self._trees.get(cache_key)
+        if tree is not None:
+            self._trees.move_to_end(cache_key)
+            if tree.universe_key == universe.key:
+                return tree
+            tree = self._repair(tree, universe, members)
+            self._trees[cache_key] = tree
+            return tree
+        key = self._rendezvous_key(members)
+        tree = self._build(universe, key, members)
+        self._trees[cache_key] = tree
+        while len(self._trees) > _MAX_TREES:
+            self._trees.popitem(last=False)
+        return tree
+
+    # ------------------------------------------------------------------
+    def _rendezvous_key(self, members: np.ndarray) -> int:
+        """The group's hashed key, relocated for root affinity.
+
+        The hash's leading digits are replaced with the id-domain prefix
+        holding the most members (ties to the lowest prefix), so the
+        key's owner — the tree's root — is underlay-near the group under
+        the overlay's proximity-preserving id assignment.
+        """
+        overlay = self.overlay
+        key = overlay.group_key(members)
+        counts: Dict[int, int] = {}
+        for member in members:
+            prefix = overlay.subgroup_prefix(int(overlay.ids[int(member)]))
+            counts[prefix] = counts.get(prefix, 0) + 1
+        majority = min(counts, key=lambda p: (-counts[p], p))
+        return overlay.subgroup_key(key, majority)
+
+    def _join_plan(
+        self, universe: OverlayUniverse, key: int, members: np.ndarray
+    ) -> List[Tuple[int, int]]:
+        """Deterministic join order: ``(member, target_key)`` pairs.
+
+        With subgrouping, each subgroup elects a leader (the member
+        ring-closest to the group key relocated into the subgroup's
+        domain); leaders join first, then the remaining members, each
+        wave ordered by underlay distance from the root so the tree
+        grows outward from the rendezvous.  Without subgrouping every
+        member joins towards the global key in the same proximity
+        order.
+        """
+        overlay = self.overlay
+        root = universe.owner(key)
+        dist, _ = self.routing.shortest_paths(root).arrays()
+
+        def waves(ordered: List[int]) -> List[int]:
+            return sorted(ordered, key=lambda m: (float(dist[m]), m))
+
+        self._last_subgroups = 1
+        if not self.config.subgrouping:
+            return [
+                (m, key) for m in waves([int(m) for m in members])
+            ]
+        domains: Dict[int, List[int]] = {}
+        for member in sorted(int(m) for m in members):
+            prefix = overlay.subgroup_prefix(int(overlay.ids[member]))
+            domains.setdefault(prefix, []).append(member)
+        leaders: Dict[int, int] = {}
+        for prefix in sorted(domains):
+            subkey = overlay.subgroup_key(key, prefix)
+            leaders[prefix] = min(
+                domains[prefix],
+                key=lambda m: (
+                    overlay.ring_distance(int(overlay.ids[m]), subkey),
+                    m,
+                ),
+            )
+        plan: List[Tuple[int, int]] = [
+            (leader, key) for leader in waves(sorted(leaders.values()))
+        ]
+        followers = [
+            (member, int(overlay.ids[leaders[prefix]]))
+            for prefix in sorted(domains)
+            for member in domains[prefix]
+            if member != leaders[prefix]
+        ]
+        targets = dict(followers)
+        plan.extend(
+            (member, targets[member])
+            for member in waves([m for m, _ in followers])
+        )
+        self._last_subgroups = len(domains)
+        return plan
+
+    def _graft(
+        self,
+        tree: RendezvousTree,
+        universe: OverlayUniverse,
+        member: int,
+        target_key: int,
+    ) -> None:
+        """Proximity anycast join: forward the join request along the
+        underlay shortest path to the nearest node already on the tree,
+        grafting every hop as a forwarder (reverse-path grafting)."""
+        tree.targets[member] = target_key
+        if member == tree.root or member in tree.parent:
+            return
+        joined = tree.nodes()
+        paths = self.routing.shortest_paths(member)
+        dist, _ = paths.arrays()
+        nearest = min(joined, key=lambda n: (float(dist[n]), n))
+        current = member
+        for hop in paths.path_to(nearest)[1:]:
+            tree.parent[current] = hop
+            if hop == tree.root or hop in tree.parent:
+                return
+            current = hop
+
+    def _build(
+        self, universe: OverlayUniverse, key: int, members: np.ndarray
+    ) -> RendezvousTree:
+        tree = RendezvousTree(
+            key=key,
+            root=universe.owner(key),
+            universe_key=universe.key,
+        )
+        for member, target_key in self._join_plan(universe, key, members):
+            self._graft(tree, universe, member, target_key)
+        tree.n_subgroups = self._last_subgroups
+        registry = get_registry()
+        registry.counter(
+            "overlay_tree_builds_total", "rendezvous trees built from scratch"
+        ).inc()
+        registry.gauge(
+            "overlay_subgroups", "subgroups of the most recently built tree"
+        ).set(tree.n_subgroups)
+        recorder = get_flight_recorder()
+        if recorder.active:
+            recorder.stage(
+                "overlay_build",
+                root=tree.root,
+                members=int(members.size),
+                subgroups=tree.n_subgroups,
+            )
+        return tree
+
+    def _repair(
+        self,
+        tree: RendezvousTree,
+        universe: OverlayUniverse,
+        members: np.ndarray,
+    ) -> RendezvousTree:
+        """Heal a cached tree into the new universe.
+
+        Branches whose parent chains survived are kept verbatim; broken
+        members re-join; forwarders no branch uses any more are pruned.
+        A dead (or re-owned) root means the rendezvous moved — the tree
+        is rebuilt from scratch and counted as such.
+        """
+        repairs = get_registry().counter(
+            "overlay_tree_repairs_total",
+            "healing operations on cached rendezvous trees",
+        )
+        root = universe.owner(tree.key)
+        if root != tree.root:
+            repairs.inc(kind="rebuild")
+            return self._build(universe, tree.key, members)
+        healed = RendezvousTree(
+            key=tree.key, root=tree.root, universe_key=universe.key
+        )
+        plan = self._join_plan(universe, tree.key, members)
+        healed.n_subgroups = self._last_subgroups
+        reattached = 0
+        for member, target_key in plan:
+            same_target = tree.targets.get(member) == target_key
+            if same_target and tree.intact(member, universe):
+                node = member
+                while node != tree.root and node not in healed.parent:
+                    healed.parent[node] = tree.parent[node]
+                    node = tree.parent[node]
+                healed.targets[member] = target_key
+            else:
+                self._graft(healed, universe, member, target_key)
+                reattached += 1
+        pruned = len(
+            set(tree.parent) - set(healed.parent) - {healed.root}
+        )
+        if reattached:
+            repairs.inc(reattached, kind="reattach")
+        if pruned:
+            repairs.inc(pruned, kind="prune")
+        if not reattached and not pruned:
+            # every chain survived: the heal was a pure verification pass
+            repairs.inc(kind="intact")
+        recorder = get_flight_recorder()
+        if recorder.active:
+            recorder.stage(
+                "overlay_repair",
+                root=healed.root,
+                reattached=reattached,
+                pruned=pruned,
+            )
+        return healed
+
+
+#: one shared delivery layer per routing table, so every dispatcher and
+#: broker rebuild over the same topology reuses (and heals) one set of
+#: trees instead of rebuilding overlay state per instance
+_DELIVERIES: "weakref.WeakKeyDictionary[RoutingTables, RendezvousDelivery]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def overlay_for(
+    routing: RoutingTables, config: Optional[OverlayConfig] = None
+) -> RendezvousDelivery:
+    """The per-routing rendezvous delivery singleton (created on first
+    use; an explicit differing ``config`` replaces the cached one)."""
+    delivery = _DELIVERIES.get(routing)
+    if delivery is None or (
+        config is not None and delivery.config != config
+    ):
+        delivery = RendezvousDelivery(routing, config)
+        _DELIVERIES[routing] = delivery
+    return delivery

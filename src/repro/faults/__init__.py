@@ -8,6 +8,7 @@ recovery activity summarised in a :class:`DegradationReport`.
 """
 
 from .chaos import ChaosRunner
+from .healing import BackendRun, HealingComparison, compare_healing
 from .report import DegradationReport
 from .schedule import KINDS, FaultEvent, FaultSchedule
 
@@ -17,4 +18,7 @@ __all__ = [
     "KINDS",
     "ChaosRunner",
     "DegradationReport",
+    "BackendRun",
+    "HealingComparison",
+    "compare_healing",
 ]

@@ -109,6 +109,7 @@ class FleetConfig:
     queue_capacity: int = 256
     policy: str = "block"
     queue_rate: Optional[float] = None
+    scheme: str = "dense"
     aggregate: bool = False
     # fleet surface
     shards: int = 4
@@ -135,6 +136,10 @@ class FleetConfig:
             )
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}")
+        from ..delivery import SCHEMES
+
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}")
         if self.n_groups < self.shards:
             raise ValueError(
                 "the global group budget must cover one group per shard"
@@ -156,6 +161,7 @@ class FleetConfig:
             queue_capacity=self.queue_capacity,
             policy=self.policy,
             queue_rate=self.queue_rate,
+            scheme=self.scheme,
             aggregate=self.aggregate,
         )
 
@@ -364,6 +370,7 @@ def _shard_broker_config(config: FleetConfig, k: int) -> BrokerConfig:
     return BrokerConfig(
         n_groups=k,
         max_cells=config.max_cells,
+        scheme=config.scheme,
         algorithm="forgy",
         adaptive=True,
         warm_start=True,
@@ -731,6 +738,7 @@ class FleetResult:
             "shards": config.shards,
             "sharding": config.sharding,
             "policy": config.fleet_policy,
+            "scheme": config.scheme,
             "epochs": config.epochs,
             "workers": config.workers,
             "k_global": config.n_groups,

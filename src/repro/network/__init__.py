@@ -8,6 +8,7 @@ from .multicast import (
     broadcast_cost,
     dense_multicast_cost,
     ideal_multicast_cost,
+    overlay_multicast_cost,
     select_core,
     sparse_multicast_cost,
     split_reachable,
@@ -29,6 +30,7 @@ __all__ = [
     "dense_multicast_cost",
     "ideal_multicast_cost",
     "application_multicast_cost",
+    "overlay_multicast_cost",
     "sparse_multicast_cost",
     "select_core",
     "split_reachable",

@@ -32,6 +32,7 @@ __all__ = [
     "dense_multicast_cost",
     "ideal_multicast_cost",
     "application_multicast_cost",
+    "overlay_multicast_cost",
     "split_reachable",
 ]
 
@@ -168,7 +169,37 @@ def select_core(routing: RoutingTables) -> int:
     """Pick a rendezvous point: the 1-median of the network.
 
     The node minimising the total shortest-path distance to all other
-    nodes — the natural static core for a shared multicast tree.
+    nodes — the natural static core for a shared multicast tree.  Ties
+    break towards the lowest node id, so core election is a pure
+    function of the topology (no array-layout or argmin-implementation
+    dependence).
     """
-    matrix = routing.distance_matrix()
-    return int(np.argmin(matrix.sum(axis=1)))
+    totals = routing.distance_matrix().sum(axis=1)
+    return int(np.flatnonzero(totals == totals.min())[0])
+
+
+def overlay_multicast_cost(
+    routing: RoutingTables,
+    publisher: int,
+    members: Iterable[int],
+    overlay=None,
+) -> float:
+    """Structured-overlay (rendezvous-tree) multicast cost.
+
+    The group hashes to a rendezvous key on a Pastry-like ring; the
+    publisher routes to the key's owner (the root) over the overlay and
+    the message flows down a Scribe-like dissemination tree formed by
+    the members' proximity-anycast joins — each overlay hop is one
+    underlay unicast, each tree edge one underlay link (traversed join
+    paths become forwarders).  ``overlay`` may supply a configured
+    :class:`repro.dht.RendezvousDelivery`; by default the per-routing
+    shared instance is used (see :func:`repro.dht.overlay_for`), so
+    cached trees survive — and heal across — topology changes.
+    """
+    if overlay is None:
+        from ..dht import overlay_for
+
+        overlay = overlay_for(routing)
+    return overlay.group_cost(
+        publisher, np.asarray(_unique_nodes(members), dtype=np.int64)
+    )

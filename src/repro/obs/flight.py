@@ -63,6 +63,8 @@ STAGE_ORDER = (
     "leave",
     "rebuild",
     "dispatch",
+    "overlay_build",
+    "overlay_repair",
     "deliver",
     "unicast",
     "outcome",

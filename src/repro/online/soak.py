@@ -86,6 +86,9 @@ class SoakConfig:
     queue_capacity: int = 256
     policy: str = "block"
     queue_rate: Optional[float] = None
+    #: multicast delivery scheme priced by the broker's dispatcher
+    #: (one of :data:`repro.delivery.SCHEMES`)
+    scheme: str = "dense"
     #: single-consumer service; kept explicit so the CLI surface matches
     #: the parallel sweep engine's, but only 1 is implemented
     workers: int = 1
@@ -102,6 +105,10 @@ class SoakConfig:
             raise ValueError("churn_fraction must be a proportion")
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}")
+        from ..delivery import SCHEMES
+
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}")
         if self.workers != 1:
             raise ValueError(
                 "the online service is single-consumer; workers must be 1"
@@ -217,6 +224,7 @@ class SoakResult:
                 "churn_fraction": self.config.churn_fraction,
                 "queue_capacity": self.config.queue_capacity,
                 "policy": self.config.policy,
+                "scheme": self.config.scheme,
                 "drift_threshold": self.config.drift_threshold,
                 "aggregate": self.config.aggregate,
             },
@@ -291,6 +299,7 @@ def _build_broker(config: SoakConfig, scenario) -> ContentBroker:
     broker_config = BrokerConfig(
         n_groups=config.n_groups,
         max_cells=config.max_cells,
+        scheme=config.scheme,
         algorithm="forgy",
         adaptive=True,
         warm_start=True,

@@ -83,6 +83,20 @@ def _int_list(text: str) -> List[int]:
         ) from None
 
 
+def _backend_scheme(text: str) -> str:
+    """Resolve a ``--multicast-backend`` name to its delivery scheme.
+
+    Unknown names fail argument parsing with the resolver's message,
+    which lists the valid backends — never a bare ``KeyError``.
+    """
+    from ..delivery import resolve_backend
+
+    try:
+        return resolve_backend(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.sim.cli",
@@ -131,6 +145,18 @@ def build_parser() -> argparse.ArgumentParser:
         "aggregates before clustering (byte-identical results; see "
         "docs/aggregation.md)",
     )
+    # multicast-backend flag shared by the delivery sub-commands
+    backend_flags = argparse.ArgumentParser(add_help=False)
+    backend_flags.add_argument(
+        "--multicast-backend",
+        type=_backend_scheme,
+        default=None,
+        metavar="NAME",
+        help="delivery backend pricing every multicast group: dense "
+        "(SPT, the paper's), sparse (shared core tree), application "
+        "(member MST, alias: alm) or overlay (structured-overlay "
+        "rendezvous trees; see docs/overlay_multicast.md)",
+    )
     # worker-pool flag shared by the parallelisable sub-commands
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument(
@@ -154,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "fig7",
         help="improvement % vs number of groups",
-        parents=[obs, pool, agg_flags],
+        parents=[obs, pool, agg_flags, backend_flags],
     )
     p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
     p.add_argument("--groups", type=_int_list, default=[10, 40, 100])
@@ -199,7 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="parallel sweep over algorithm x group-count cells",
-        parents=[obs, pool, slo_flags, agg_flags],
+        parents=[obs, pool, slo_flags, agg_flags, backend_flags],
     )
     p.add_argument("--modes", type=int, choices=(1, 4, 9), default=1)
     p.add_argument("--subs", type=int, default=1000,
@@ -229,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="replay a churn+publication stream through the online "
         "streaming runtime",
-        parents=[obs, pool, slo_flags, agg_flags],
+        parents=[obs, pool, slo_flags, agg_flags, backend_flags],
     )
     p.add_argument(
         "--flight",
@@ -269,7 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet",
         help="replay one churn+publication stream across a sharded "
         "multi-broker fleet with a coordinator-split group budget",
-        parents=[obs, pool, slo_flags, agg_flags],
+        parents=[obs, pool, slo_flags, agg_flags, backend_flags],
     )
     p.add_argument(
         "--flight",
@@ -339,7 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "chaos",
         help="replay a fault schedule and report delivery degradation",
-        parents=[obs, pool, slo_flags],
+        parents=[obs, pool, slo_flags, backend_flags],
     )
     p.add_argument(
         "--flight",
@@ -388,6 +414,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-baseline", action="store_true",
         help="skip the no-fault baseline run (and the byte-identity "
         "check for empty schedules)",
+    )
+    p.add_argument(
+        "--compare-healing", action="store_true",
+        help="also replay the schedule under the dense and overlay "
+        "backends and print the healing-vs-recompute comparison "
+        "(availability, lost messages, recovery work per backend)",
+    )
+    p.add_argument(
+        "--compare-healing-out", metavar="PATH",
+        help="write the healing comparison as JSON (implies "
+        "--compare-healing)",
     )
 
     return parser
@@ -477,9 +514,11 @@ def _run_command(args: argparse.Namespace) -> None:
         )
         print(format_table(rows, "Table 2. No regionalism"))
     elif args.command == "fig7":
+        backend = args.multicast_backend
         results = figure7(
             group_counts=args.groups,
             algorithms=tuple(args.algorithms.split(",")),
+            schemes=(backend,) if backend else ("dense", "alm"),
             modes=args.modes,
             n_events=args.events,
             noloss=not args.no_noloss,
@@ -490,7 +529,7 @@ def _run_command(args: argparse.Namespace) -> None:
         print(format_results(results))
         if args.chart:
             print()
-            print(chart_improvement(results, scheme="dense"))
+            print(chart_improvement(results, scheme=backend or "dense"))
         if args.csv:
             rows_to_csv(results_to_rows(results), args.csv)
             print(f"(rows written to {args.csv})")
@@ -568,6 +607,7 @@ def _run_serve(args: argparse.Namespace) -> None:
         queue_capacity=args.queue_capacity,
         policy=args.policy,
         queue_rate=args.queue_rate,
+        scheme=args.multicast_backend or "dense",
         workers=args.workers,
         aggregate=args.aggregate,
     )
@@ -644,6 +684,7 @@ def _run_fleet(args: argparse.Namespace) -> None:
         queue_capacity=args.queue_capacity,
         policy=args.policy,
         queue_rate=args.queue_rate,
+        scheme=args.multicast_backend or "dense",
         aggregate=args.aggregate,
         shards=args.shards,
         sharding=args.sharding,
@@ -701,7 +742,10 @@ def _run_sweep(args: argparse.Namespace) -> None:
         print(slo_table(engine.summary(), title="SLO objectives (spec)"))
         print()
     algorithms = tuple(a for a in args.algorithms.split(",") if a)
-    schemes = tuple(s for s in args.schemes.split(",") if s)
+    if args.multicast_backend:
+        schemes = (args.multicast_backend,)
+    else:
+        schemes = tuple(s for s in args.schemes.split(",") if s)
     if args.max_cells is not None:
         budgets = {name: args.max_cells for name in algorithms}
     else:
@@ -795,6 +839,7 @@ def _run_chaos(args: argparse.Namespace) -> None:
         print(f"(schedule written to {args.save_schedule})")
     config_kwargs = dict(
         n_groups=args.groups,
+        scheme=args.multicast_backend or "dense",
         rebalance_after=10**9,  # rebuilds are schedule-driven here
         rebuild_debounce=args.debounce,
         rebuild_backoff_base=args.backoff,
@@ -871,6 +916,24 @@ def _run_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(
             f"{report.silently_lost} publications silently lost"
         )
+    if args.compare_healing or args.compare_healing_out:
+        from ..faults import compare_healing
+
+        comparison = compare_healing(
+            scenario_kwargs=scenario_kwargs,
+            events=list(schedule.as_dicts()),
+            horizon=schedule.horizon,
+            config_kwargs=config_kwargs,
+            n_events=args.events,
+            seed=args.seed,
+        )
+        print()
+        print(comparison.format(), end="")
+        if args.compare_healing_out:
+            comparison.to_json(args.compare_healing_out)
+            print(
+                f"(healing comparison written to {args.compare_healing_out})"
+            )
     if args.report:
         manifest = RunManifest.capture(
             argv=None,

@@ -46,6 +46,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_multicast_backend_resolves_to_scheme(self):
+        for name, scheme in (
+            ("dense", "dense"),
+            ("alm", "alm"),
+            ("application", "alm"),
+            ("sparse", "sparse"),
+            ("overlay", "overlay"),
+        ):
+            args = build_parser().parse_args(
+                ["fig7", "--multicast-backend", name]
+            )
+            assert args.multicast_backend == scheme
+
+    def test_multicast_backend_flag_on_every_runtime_command(self):
+        for command in ("fig7", "sweep", "serve", "fleet", "chaos"):
+            args = build_parser().parse_args(
+                [command, "--multicast-backend", "overlay"]
+            )
+            assert args.multicast_backend == "overlay"
+
+    def test_unknown_multicast_backend_lists_valid_names(self, capsys):
+        """A typo'd backend is an argparse error naming every valid
+        backend — never a bare KeyError."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["serve", "--multicast-backend", "bogus"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown multicast backend 'bogus'" in err
+        for name in ("alm", "application", "dense", "overlay", "sparse"):
+            assert name in err
+
 
 class TestMain:
     """Smoke-run each command at minimal scale and check the output."""

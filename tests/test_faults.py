@@ -332,6 +332,37 @@ class TestRoutingFaults:
         with pytest.raises(KeyError, match="not down"):
             routing.heal_link(0, 1)
 
+    def test_mixed_node_link_faults_recover_exactly(self, routing):
+        """Interleaved node and link faults through the stash: fail a
+        node, fail one of its (stashed) incident links, heal the node,
+        then heal the link — the distance matrix and the edge set must
+        come back bit-for-bit."""
+        graph = routing.graph
+        before = np.array(routing.distance_matrix(), copy=True)
+        edges_before = sorted(graph.edges())
+        victim = next(
+            u
+            for u in range(graph.n_nodes)
+            if len(list(graph.neighbors(u))) >= 2
+        )
+        neighbor, link_cost = sorted(graph.neighbors(victim))[0]
+
+        routing.fail_node(victim)
+        # the incident link fails while parked in the node's stash
+        assert routing.fail_link(victim, neighbor) == link_cost
+        routing.heal_node(victim)
+        # the node is back, but the separately-failed link must not be
+        assert victim not in routing.failed_nodes
+        assert not graph.has_edge(victim, neighbor)
+        key = (min(victim, neighbor), max(victim, neighbor))
+        assert routing.down_links == {key: link_cost}
+
+        routing.heal_link(victim, neighbor)
+        assert routing.failed_nodes == frozenset()
+        assert routing.down_links == {}
+        assert sorted(graph.edges()) == edges_before
+        assert np.array_equal(routing.distance_matrix(), before)
+
     def test_topology_version_tracks_mutations(self, routing):
         v0 = routing.topology_version
         u, v, _ = next(routing.graph.edges())

@@ -190,6 +190,34 @@ class TestSparseMulticast:
         # 0:11, 1:10, 2:12, 3:22 -> node 1 is the 1-median
         assert select_core(line_routing) == 1
 
+    def test_select_core_tie_breaks_to_lowest_id(self):
+        """Core election is a pure function of the topology: when
+        several nodes tie for the 1-median, the lowest node id wins —
+        never an argmin/array-layout accident."""
+        from repro.network import select_core
+
+        # a 4-cycle with equal edge costs: every node's distance total
+        # is identical, so all four tie for the median
+        g = Graph(4)
+        for u, v in ((0, 1), (1, 2), (2, 3), (3, 0)):
+            g.add_edge(u, v, 1.0)
+        routing = RoutingTables(g)
+        totals = routing.distance_matrix().sum(axis=1)
+        assert np.all(totals == totals[0])  # genuine 4-way tie
+        assert select_core(routing) == 0
+        # still the lowest id when the tie is between non-zero nodes:
+        # hang a pendant off node 2 of a 1-2-3 path; 2 stays the unique
+        # median, then balance it so 1 and 2 tie exactly
+        h = Graph(4)
+        h.add_edge(1, 2, 1.0)
+        h.add_edge(2, 3, 1.0)
+        h.add_edge(0, 1, 2.0)
+        tied = RoutingTables(h)
+        tied_totals = tied.distance_matrix().sum(axis=1)
+        assert tied_totals[1] == tied_totals[2]
+        assert tied_totals[1] == tied_totals.min()
+        assert select_core(tied) == 1
+
     def test_core_on_publisher_matches_dense(self, line_routing):
         from repro.network import dense_multicast_cost, sparse_multicast_cost
 
